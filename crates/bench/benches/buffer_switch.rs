@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks of the buffer-switch machinery itself: the
+//! cost model, the queue drain/load path a switch executes, and the
+//! backing-store round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastmsg::config::FmConfig;
+use fastmsg::division::BufferPolicy;
+use gang_comm::switcher::{switch_cost, CopyStrategy, SwitchCosts};
+use lanai::queue::PacketRing;
+use sim_core::mem::CopyCostModel;
+use std::hint::black_box;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cfg = FmConfig::parpar(16, 2, BufferPolicy::FullBuffer);
+    let mem = CopyCostModel::parpar();
+    let costs = SwitchCosts::default();
+    let mut g = c.benchmark_group("switch_cost_model");
+    for occ in [0usize, 50, 200, 600] {
+        g.bench_with_input(BenchmarkId::new("valid_only", occ), &occ, |b, &occ| {
+            b.iter(|| {
+                switch_cost(
+                    black_box(CopyStrategy::ValidOnly),
+                    &cfg,
+                    &mem,
+                    &costs,
+                    occ / 10,
+                    occ,
+                    occ / 10,
+                    occ,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("full", occ), &occ, |b, &occ| {
+            b.iter(|| {
+                switch_cost(
+                    black_box(CopyStrategy::Full),
+                    &cfg,
+                    &mem,
+                    &costs,
+                    occ / 10,
+                    occ,
+                    occ / 10,
+                    occ,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_queue_drain_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_drain_load");
+    for occ in [10usize, 110, 600] {
+        g.bench_with_input(BenchmarkId::from_parameter(occ), &occ, |b, &occ| {
+            b.iter_batched(
+                || {
+                    let mut ring: PacketRing<u64> = PacketRing::new(668);
+                    for i in 0..occ as u64 {
+                        ring.push(i).unwrap();
+                    }
+                    ring
+                },
+                |mut ring| {
+                    let saved = ring.drain_all();
+                    ring.load(black_box(saved));
+                    ring
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_backing_store(c: &mut Criterion) {
+    use gang_comm::state::SavedCommState;
+    use hostsim::backing::BackingStore;
+    use hostsim::process::Pid;
+    c.bench_function("backing_store_save_restore", |b| {
+        let mut store: BackingStore<SavedCommState<u64>> = BackingStore::new();
+        b.iter(|| {
+            let st = SavedCommState::new(1, vec![0u64; 20], vec![0u64; 110]);
+            let bytes = st.stored_bytes();
+            store.save(Pid(1), st, bytes);
+            black_box(store.restore(Pid(1)).unwrap())
+        })
+    });
+}
+
+fn bench_whole_switch_simulation(c: &mut Criterion) {
+    use cluster::{ClusterConfig, Sim};
+    use fastmsg::division::BufferPolicy;
+    use sim_core::time::{Cycles, SimTime};
+    use workloads::alltoall::AllToAll;
+
+    // Simulator throughput for one full gang switch (all three phases) on
+    // a 4-node all-to-all — guards the event-loop hot path end to end.
+    let mut g = c.benchmark_group("simulate_one_switch");
+    g.sample_size(10);
+    for copy in [
+        gang_comm::switcher::CopyStrategy::Full,
+        gang_comm::switcher::CopyStrategy::ValidOnly,
+    ] {
+        g.bench_function(format!("{copy:?}"), |b| {
+            b.iter(|| {
+                let mut cfg = ClusterConfig::parpar(4, 2, BufferPolicy::FullBuffer);
+                cfg.copy = copy;
+                cfg.quantum = Cycles::from_ms(20);
+                let mut sim = Sim::new(cfg);
+                let a = AllToAll::stress(4);
+                let all: Vec<usize> = (0..4).collect();
+                sim.submit(&a, Some(all.clone())).unwrap();
+                sim.submit(&a, Some(all)).unwrap();
+                sim.engine
+                    .run_until_pred(SimTime::ZERO + Cycles::from_secs(5), |w| {
+                        w.stats.switches >= 1
+                    });
+                black_box(sim.world().stats.switches)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cost_model, bench_queue_drain_load, bench_backing_store, bench_whole_switch_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benchmarks of the discrete-event engine core: raw event
+//! throughput and the data-network timing model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use myrinet::network::Network;
+use myrinet::topology::Topology;
+use sim_core::engine::{Engine, Model, Scheduler};
+use sim_core::time::{Cycles, SimTime};
+use std::hint::black_box;
+
+struct Chain {
+    remaining: u64,
+}
+
+impl Model for Chain {
+    type Event = u8;
+    fn handle(&mut self, _now: SimTime, _ev: u8, sched: &mut Scheduler<u8>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(Cycles(7), 0);
+        }
+    }
+}
+
+fn bench_event_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_events");
+    for n in [10_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = Engine::new(Chain { remaining: n });
+                e.schedule_at(SimTime::ZERO, 0);
+                e.run_to_idle();
+                black_box(e.events_processed())
+            })
+        });
+    }
+    g.finish();
+}
+
+struct FanOut {
+    width: u64,
+    rounds: u64,
+}
+
+impl Model for FanOut {
+    type Event = u64;
+    fn handle(&mut self, _now: SimTime, ev: u64, sched: &mut Scheduler<u64>) {
+        if ev < self.rounds {
+            for i in 0..self.width {
+                sched.after(Cycles(1 + i), ev + 1);
+            }
+        }
+    }
+}
+
+fn bench_event_fanout(c: &mut Criterion) {
+    c.bench_function("engine_fanout_heap_pressure", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(FanOut {
+                width: 8,
+                rounds: 5,
+            });
+            e.schedule_at(SimTime::ZERO, 0);
+            e.run_to_idle();
+            black_box(e.events_processed())
+        })
+    });
+}
+
+fn bench_network_transmit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("myrinet_transmit");
+    for nodes in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let mut net = Network::new(Topology::single_switch(nodes));
+            let mut t = SimTime::ZERO;
+            let mut i = 0usize;
+            b.iter(|| {
+                let src = i % nodes;
+                let dst = (i + 1) % nodes;
+                i += 1;
+                t += Cycles(50);
+                black_box(net.transmit(t, src, dst, 1560))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_chain, bench_event_fanout, bench_network_transmit);
+criterion_main!(benches);

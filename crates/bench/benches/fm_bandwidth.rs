@@ -1,0 +1,41 @@
+//! Criterion benchmarks of whole-system simulation throughput: how fast
+//! the simulator reproduces a Fig. 5 / Fig. 6 cell. These guard against
+//! performance regressions in the event loop and protocol hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster::measure::{fig5_cell, fig6_cell};
+use sim_core::time::Cycles;
+use std::hint::black_box;
+
+fn bench_fig5_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_cell");
+    g.sample_size(10);
+    for (n, sz, count) in [(1usize, 65536u64, 100u64), (4, 4096, 200), (2, 64, 500)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_{sz}B")),
+            &(n, sz, count),
+            |b, &(n, sz, count)| b.iter(|| black_box(fig5_cell(n, sz, count, 1))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig6_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_cell");
+    g.sample_size(10);
+    g.bench_function("k3_24KB_100ms", |b| {
+        b.iter(|| {
+            black_box(fig6_cell(
+                3,
+                24576,
+                Cycles::from_ms(50),
+                Cycles::from_ms(100),
+                1,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5_cells, bench_fig6_cell);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Copy strategy** — full vs valid-packets-only, across node counts;
+//! 2. **Switch strategy** — the paper's gang-flush vs the §5 baselines
+//!    (SHARE-style discard, PM/SCore-style ack-drain);
+//! 3. **Credit rounding** — where static-division communication dies
+//!    (floor vs round vs ceil, the n=7/n=8 cutoff discussion).
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin ablation [--csv DIR]
+//! ```
+
+use bench_harness::{par_sweep, HarnessOpts};
+use cluster::measure::{fig5_cell_rounded, switch_overhead_run};
+use fastmsg::division::CreditRounding;
+use gang_comm::strategy::SwitchStrategy;
+use gang_comm::switcher::CopyStrategy;
+use sim_core::report::{Cell, Table};
+use sim_core::time::Cycles;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let seed = opts.seed;
+
+    // 1. Copy strategies across node counts.
+    let nodes = [2usize, 8, 16];
+    let mut t1 = Table::new(
+        "ablation 1 — copy strategy (gang-flush, all-to-all, mean cycles)",
+        &["nodes", "full copy", "valid-only", "speedup"],
+    );
+    let rows = par_sweep(nodes.to_vec(), |&n| {
+        let f = switch_overhead_run(n, CopyStrategy::Full, SwitchStrategy::GangFlush, 4, seed);
+        let v = switch_overhead_run(n, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 4, seed);
+        (f.ledger.mean_stages().1, v.ledger.mean_stages().1)
+    });
+    for (&n, (f, v)) in nodes.iter().zip(&rows) {
+        t1.row(vec![
+            n.into(),
+            (*f as u64).into(),
+            (*v as u64).into(),
+            Cell::Float(f / v, 1),
+        ]);
+    }
+    opts.emit("ablation_copy", &t1);
+
+    // 2. Switch strategies.
+    let strategies = [
+        SwitchStrategy::GangFlush,
+        SwitchStrategy::ShareDiscard {
+            retransmit_timeout: Cycles::from_ms(10),
+        },
+        SwitchStrategy::AckDrain,
+    ];
+    let mut t2 = Table::new(
+        "ablation 2 — switch strategy (8 nodes, valid-only copy, 6 switches)",
+        &["strategy", "mean total cycles", "dropped packets", "flush protocol"],
+    );
+    let rows = par_sweep(strategies.to_vec(), |&s| {
+        let r = switch_overhead_run(8, CopyStrategy::ValidOnly, s, 6, seed);
+        (s, r.ledger.mean_total(), r.drops)
+    });
+    for (s, total, drops) in rows {
+        t2.row(vec![
+            s.name().into(),
+            (total as u64).into(),
+            drops.into(),
+            if s.uses_flush_protocol() { "yes" } else { "no" }.into(),
+        ]);
+    }
+    opts.emit("ablation_strategy", &t2);
+
+    // 3. Credit rounding at the static-division cliff.
+    let mut t3 = Table::new(
+        "ablation 3 — credit rounding at the cutoff (static division, 4 KB msgs)",
+        &["contexts", "floor C0", "floor MB/s", "round C0", "round MB/s", "ceil C0", "ceil MB/s"],
+    );
+    let params: Vec<usize> = (5..=9).collect();
+    let rows = par_sweep(params.clone(), |&n| {
+        [
+            fig5_cell_rounded(n, 4096, 150, seed, CreditRounding::Floor),
+            fig5_cell_rounded(n, 4096, 150, seed, CreditRounding::Round),
+            fig5_cell_rounded(n, 4096, 150, seed, CreditRounding::Ceil),
+        ]
+    });
+    for (&n, cells) in params.iter().zip(&rows) {
+        t3.row(vec![
+            n.into(),
+            cells[0].credits.into(),
+            Cell::Float(cells[0].mbps, 2),
+            cells[1].credits.into(),
+            Cell::Float(cells[1].mbps, 2),
+            cells[2].credits.into(),
+            Cell::Float(cells[2].mbps, 2),
+        ]);
+    }
+    opts.emit("ablation_rounding", &t3);
+    println!(
+        "With Floor, communication dies at 7 contexts; with Round/Ceil the\n\
+         last credit survives to higher n at a trickle. The paper reports\n\
+         the cliff at 8 — consistent with a rounding difference, and either\n\
+         way the quadratic collapse is what matters."
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates **paper Fig. 9**: per-stage context-switch times with the
+//! **improved** (valid-packets-only) buffer switch.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin fig9 [--full] [--csv DIR]
+//! ```
+
+use bench_harness::{par_sweep, HarnessOpts, FIG7_NODES};
+use cluster::measure::switch_overhead_run;
+use gang_comm::strategy::SwitchStrategy;
+use gang_comm::switcher::CopyStrategy;
+use sim_core::report::Table;
+use sim_core::time::Cycles;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let switches = if opts.full { 12 } else { 5 };
+    let seed = opts.seed;
+    let results = par_sweep(FIG7_NODES.to_vec(), |&nodes| {
+        switch_overhead_run(
+            nodes,
+            CopyStrategy::ValidOnly,
+            SwitchStrategy::GangFlush,
+            switches,
+            seed,
+        )
+    });
+    let mut table = Table::new(
+        "Fig. 9 — switch stage times in cycles, improved (valid-only) copy",
+        &[
+            "nodes",
+            "halt",
+            "buffer switch",
+            "release",
+            "total",
+            "overhead % of 1s quantum",
+        ],
+    );
+    for (&nodes, r) in FIG7_NODES.iter().zip(&results) {
+        let (h, b, rel) = r.ledger.mean_stages();
+        table.row(vec![
+            nodes.into(),
+            (h as u64).into(),
+            (b as u64).into(),
+            (rel as u64).into(),
+            (r.ledger.mean_total() as u64).into(),
+            sim_core::report::Cell::Float(r.ledger.overhead_pct(Cycles::from_secs(1)), 3),
+        ]);
+    }
+    opts.emit("fig9", &table);
+    println!(
+        "Paper shape: copying only the valid packets cuts the buffer switch\n\
+         from ~16 M to well under 2.5 M cycles (< 12.5 ms), and the copy\n\
+         time now tracks the queue occupancy of Fig. 8 — \"less than 1.25%\"\n\
+         of a 1-second quantum."
+    );
+}

@@ -1,0 +1,144 @@
+//! # bench-harness — figure regeneration and micro-benchmarks
+//!
+//! One binary per paper figure (`fig5` … `fig9`, `overheads`, `ablation`)
+//! plus criterion micro-benchmarks. Each binary prints the same rows or
+//! series the paper plots and can emit CSV.
+//!
+//! Common flags (all binaries):
+//!
+//! * `--full`  — paper-scale message counts / quanta (slow; defaults are
+//!   steady-state-converged quick runs);
+//! * `--csv DIR` — also write `DIR/<figure>.csv`;
+//! * `--seed N` — override the deterministic seed.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use sim_core::report::Table;
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Run at the paper's full scale.
+    pub full: bool,
+    /// Directory to write CSV output into.
+    pub csv: Option<PathBuf>,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl HarnessOpts {
+    /// Parse from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts {
+            full: false,
+            csv: None,
+            seed: 42,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => opts.full = true,
+                "--csv" => {
+                    opts.csv = Some(PathBuf::from(
+                        args.next().expect("--csv needs a directory"),
+                    ));
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("seed must be an integer");
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: --full --csv DIR --seed N");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        opts
+    }
+
+    /// Print the table and, if requested, write it as CSV.
+    pub fn emit(&self, name: &str, table: &Table) {
+        println!("{}", table.render());
+        if let Some(dir) = &self.csv {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Run `f` over `params` in parallel (one scoped thread per parameter, the
+/// simulations are independent and deterministic), preserving order.
+pub fn par_sweep<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send + Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = params.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, p) in params.iter().enumerate() {
+            let fref = &f;
+            handles.push((i, s.spawn(move |_| fref(p))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("sweep worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+/// The message sizes of the paper's Fig. 5 x-axis (64 B … 64 KB).
+pub const FIG5_SIZES: [u64; 6] = [64, 256, 1024, 4096, 16384, 65536];
+
+/// The message sizes of the paper's Fig. 6 x-axis (96 B … 96 KB).
+pub const FIG6_SIZES: [u64; 6] = [96, 384, 1536, 6144, 24576, 98304];
+
+/// Node counts of the Figs. 7–9 x-axis.
+pub const FIG7_NODES: [usize; 8] = [2, 4, 6, 8, 10, 12, 14, 16];
+
+/// Message count for a Fig. 5 cell: paper-scale or quick.
+pub fn fig5_count(msg_bytes: u64, full: bool) -> u64 {
+    if full {
+        // Paper §4.1: 500,000 small / 100,000 large.
+        if msg_bytes <= 1024 {
+            500_000
+        } else {
+            100_000
+        }
+    } else {
+        // Steady-state bandwidth converges within a few thousand messages.
+        if msg_bytes <= 1024 {
+            3000
+        } else {
+            400
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_sweep_preserves_order() {
+        let r = par_sweep((0..20).collect(), |&x: &i32| x * x);
+        assert_eq!(r, (0..20).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fig5_counts() {
+        assert_eq!(fig5_count(64, true), 500_000);
+        assert_eq!(fig5_count(65536, true), 100_000);
+        assert!(fig5_count(64, false) < 10_000);
+    }
+}

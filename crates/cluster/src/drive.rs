@@ -1,0 +1,307 @@
+//! Control-plane event handlers: quantum rotation, daemon message
+//! delivery, job loading (paper Fig. 2), and the switch kickoff.
+
+use fastmsg::proc::FmProcess;
+use gang_comm::state::SavedCommState;
+use hostsim::process::Signal;
+use parpar::protocol::{MasterMsg, NodedCmd};
+use sim_core::engine::Scheduler;
+use sim_core::time::{Cycles, SimTime};
+use sim_core::trace::Category;
+
+use crate::event::Event;
+use crate::procsim::{ProcPhase, ProcSim};
+use crate::world::World;
+
+impl World {
+    /// The masterd's quantum timer fired: rotate if there is anything to
+    /// rotate to, and rearm the timer.
+    pub(crate) fn on_quantum_expired(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        if let Some(order) = self.master.quantum_expired() {
+            self.trace.emit(now, Category::Gang, None, || {
+                format!(
+                    "quantum expired: switch epoch {} slot {} -> {}",
+                    order.epoch, order.from, order.to
+                )
+            });
+            let deliver = self.ctrl.multicast(now);
+            for node in 0..self.cfg.nodes {
+                sched.at(
+                    deliver,
+                    Event::CtrlToNode {
+                        node,
+                        cmd: NodedCmd::SwitchSlot {
+                            epoch: order.epoch,
+                            from: order.from,
+                            to: order.to,
+                        },
+                    },
+                );
+            }
+        }
+        if self.cfg.auto_rotate {
+            sched.at(now + self.cfg.quantum, Event::QuantumExpired);
+        }
+    }
+
+    /// A node-local scheduler tick (uncoordinated mode): rotate this
+    /// node's processes without any cluster-wide coordination.
+    pub(crate) fn on_node_tick(&mut self, now: SimTime, node: usize, sched: &mut Scheduler<Event>) {
+        debug_assert!(!self.cfg.gang_scheduling);
+        let n = &mut self.nodes[node];
+        let slots: Vec<usize> = n.noded.assignments().map(|(s, _, _)| s).collect();
+        if slots.len() > 1 || (slots.len() == 1 && slots[0] != n.noded.current_slot) {
+            let cur = n.noded.current_slot;
+            let next = slots
+                .iter()
+                .copied()
+                .find(|&s| s > cur)
+                .unwrap_or(slots[0]);
+            if next != cur {
+                if let Some((_, pid)) = n.noded.in_slot(cur) {
+                    n.procs.signal(pid, Signal::Stop);
+                }
+                n.noded.current_slot = next;
+                if let Some((_, pid)) = n.noded.in_slot(next) {
+                    n.procs.signal(pid, Signal::Cont);
+                    sched.at(
+                        now + self.cfg.host_costs.signal,
+                        Event::ProcKick { node, pid },
+                    );
+                }
+            }
+        }
+        sched.at(now + self.cfg.quantum, Event::NodeTick { node });
+    }
+
+    /// Dynamic coscheduling: deschedule whoever runs and schedule the
+    /// process an incoming message is destined to (related work [12]).
+    pub(crate) fn dynamic_cosched_preempt(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: hostsim::process::Pid,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let n = &mut self.nodes[node];
+        let Some(target_slot) = n.apps.get(&pid).map(|p| p.slot) else {
+            return;
+        };
+        if n.noded.current_slot == target_slot {
+            return; // already scheduled
+        }
+        if let Some((_, cur_pid)) = n.noded.in_slot(n.noded.current_slot) {
+            n.procs.signal(cur_pid, Signal::Stop);
+        }
+        n.noded.current_slot = target_slot;
+        n.procs.signal(pid, Signal::Cont);
+        sched.at(
+            now + self.cfg.host_costs.signal,
+            Event::ProcKick { node, pid },
+        );
+    }
+
+    /// A masterd command was delivered to a node's socket: the noded wakes
+    /// up after its scheduling jitter and dispatch cost.
+    pub(crate) fn on_ctrl_to_node(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        cmd: NodedCmd,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let jmax = self.cfg.host_costs.daemon_jitter_max.raw();
+        let jitter = if jmax == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles(self.rng.below(jmax + 1))
+        };
+        let delay = self.cfg.host_costs.daemon_dispatch + jitter;
+        sched.at(now + delay, Event::NodedAct { node, cmd });
+    }
+
+    /// A noded report reached the masterd.
+    pub(crate) fn on_ctrl_to_master(
+        &mut self,
+        now: SimTime,
+        msg: MasterMsg,
+        sched: &mut Scheduler<Event>,
+    ) {
+        match msg {
+            MasterMsg::ProcStarted { job, node } => {
+                if let Some(cmds) = self.master.on_proc_started(job, node) {
+                    self.stats.job_all_up.insert(job, now);
+                    self.stats.job_bw.entry(job).or_default().open(now);
+                    self.trace
+                        .emit(now, Category::Gang, None, || format!("{job} all up"));
+                    for (n, cmd) in cmds {
+                        let t = self.ctrl.unicast_to_node(now);
+                        sched.at(t, Event::CtrlToNode { node: n, cmd });
+                    }
+                }
+            }
+            MasterMsg::SwitchDone { epoch, node } => {
+                if self.master.on_switch_done(node, epoch) {
+                    self.stats.switches += 1;
+                }
+            }
+            MasterMsg::JobFinished { job, node } => {
+                if self.master.on_job_finished(job, node) {
+                    self.stats.job_finished.insert(job, now);
+                    self.trace
+                        .emit(now, Category::Gang, None, || format!("{job} finished"));
+                    // Freed matrix space: the jobrep admits waiting jobs.
+                    let admitted = self.jobrep.drain(&mut self.master);
+                    for sub in admitted {
+                        let programs = self
+                            .queued_programs
+                            .pop_front()
+                            .expect("queued programs out of sync with jobrep");
+                        self.dispatch_submission(now, sub, programs, sched);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The noded executes a command.
+    pub(crate) fn on_noded_act(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        cmd: NodedCmd,
+        sched: &mut Scheduler<Event>,
+    ) {
+        match cmd {
+            NodedCmd::LoadJob {
+                job,
+                rank,
+                placement,
+                slot,
+            } => self.load_job(now, node, job, rank, placement, slot, sched),
+            NodedCmd::AllUp { job } => {
+                let Some((_, pid)) = self.noded_lookup(node, job) else {
+                    panic!("AllUp for job not on node {node}");
+                };
+                let n = &mut self.nodes[node];
+                let proc = n.apps.get_mut(&pid).expect("AllUp for unknown process");
+                // Write the sync byte (Fig. 2); wake the blocked reader.
+                let wake = proc.pipe.write(&[1]);
+                self.trace.emit(now, Category::Gang, Some(node), || {
+                    format!("sync byte written for {job}")
+                });
+                if wake {
+                    sched.at(
+                        now + self.cfg.host_costs.pipe_write,
+                        Event::ProcKick { node, pid },
+                    );
+                }
+            }
+            NodedCmd::SwitchSlot { epoch, from, to } => {
+                self.start_switch(now, node, epoch, from, to, sched);
+            }
+            NodedCmd::KillJob { job } => {
+                if let Some((slot, pid)) = self.nodes[node].noded.remove_job(job) {
+                    let _ = slot;
+                    self.nodes[node].procs.signal(pid, Signal::Kill);
+                    self.nodes[node].apps.remove(&pid);
+                }
+            }
+        }
+    }
+
+    fn noded_lookup(&self, node: usize, job: parpar::job::JobId) -> Option<(usize, hostsim::process::Pid)> {
+        let slot = self.nodes[node].noded.slot_of(job)?;
+        let (_, pid) = self.nodes[node].noded.in_slot(slot)?;
+        Some((slot, pid))
+    }
+
+    /// COMM_init_job + fork + ProcStarted notification (Fig. 2, left).
+    #[allow(clippy::too_many_arguments)]
+    fn load_job(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        job: parpar::job::JobId,
+        rank: usize,
+        placement: Vec<usize>,
+        slot: usize,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let geo = self.cfg.fm.geometry();
+        let program = self
+            .pending_programs
+            .remove(&(job, rank))
+            .expect("no program registered for (job, rank)");
+
+        // COMM_init_job: make the context able to receive *before* the
+        // fork. Under static division every context is resident; under the
+        // buffer-switching scheme only the active slot's context occupies
+        // the NIC — other jobs start life in the backing store.
+        let resident = self
+            .comm_init_job(now, node, job.0, rank, slot)
+            .expect("NIC context allocation failed at load");
+        let n = &mut self.nodes[node];
+
+        // Fork: create the process, environment and pipe.
+        let pid = n.procs.fork();
+        n.noded.assign(slot, job, pid);
+        {
+            let p = n.procs.get_mut(pid).unwrap();
+            p.set_env("FM_JOB_ID", job.0.to_string());
+            p.set_env("FM_RANK", rank.to_string());
+            p.set_env(
+                "FM_PLACEMENT",
+                placement
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+        }
+        let mut fm = FmProcess::new(job.0, rank, placement, self.cfg.nodes, geo.credits);
+        // Under the no-flush baselines (paper §5) packets can be dropped at
+        // a switch and recovered by higher layers; FM's strict FIFO check
+        // becomes a gap counter.
+        fm.allow_loss = self.cfg.strategy.may_drop()
+            || self.cfg.wire_loss_ppm > 0
+            || self.cfg.fm.policy == fastmsg::division::BufferPolicy::CachedEndpoints;
+        let proc = ProcSim {
+            pid,
+            job,
+            rank,
+            slot,
+            fm,
+            program,
+            init: fastmsg::init::InitMachine::new(self.cfg.init_mode),
+            phase: ProcPhase::Initializing,
+            sending: None,
+            blocked: None,
+            busy: false,
+            pipe: hostsim::pipe::Pipe::new(),
+            pending_refills: std::collections::BTreeMap::new(),
+            deferred_pkt: None,
+            first_send: None,
+            finished_at: None,
+        };
+        n.apps.insert(pid, proc);
+        if !resident {
+            n.backing.save(pid, SavedCommState::empty(job.0), 0);
+        }
+        self.trace.emit(now, Category::Gang, Some(node), || {
+            format!("loaded {job} rank {rank} in slot {slot} ({pid})")
+        });
+
+        // Fork cost, then: notify the masterd, and let the process start
+        // FM_initialize.
+        let after_fork = now + self.cfg.host_costs.fork;
+        let t_master = self.ctrl.unicast_to_master(after_fork);
+        sched.at(
+            t_master,
+            Event::CtrlToMaster {
+                msg: MasterMsg::ProcStarted { job, node },
+            },
+        );
+        sched.at(after_fork, Event::ProcKick { node, pid });
+    }
+}

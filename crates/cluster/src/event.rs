@@ -1,0 +1,152 @@
+//! The cluster simulation's event alphabet and auxiliary event payloads.
+
+use fastmsg::packet::Packet;
+use hostsim::process::Pid;
+use parpar::protocol::{MasterMsg, NodedCmd};
+
+/// A frame on the Myrinet data network.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// An FM data or refill packet.
+    Data(Packet),
+    /// A specially-tagged halt control packet (flush protocol).
+    Halt {
+        /// Switch epoch it belongs to.
+        epoch: u64,
+        /// Emitting node.
+        src: usize,
+    },
+    /// A ready control packet (release protocol).
+    Ready {
+        /// Switch epoch it belongs to.
+        epoch: u64,
+        /// Emitting node.
+        src: usize,
+    },
+    /// A per-packet acknowledgement (AckDrain strategy only).
+    Ack {
+        /// Node whose packet is being acknowledged.
+        to: usize,
+    },
+    /// A packet for a non-resident context was discarded; the receiving
+    /// NIC returns the credit so the higher-layer retransmission the
+    /// SHARE/PM baselines assume does not wedge flow control.
+    DropNotify {
+        /// Job whose packet was dropped.
+        job: u32,
+        /// Host that sent the dropped packet.
+        src_host: usize,
+        /// Host that dropped it.
+        drop_host: usize,
+    },
+}
+
+/// Host-CPU work item completions.
+#[derive(Debug, Clone)]
+pub enum HostOp {
+    /// One fragment of the in-progress message was written into the NIC
+    /// send queue.
+    SendFragment,
+    /// One packet was extracted from the receive queue.
+    Extract(Packet),
+    /// A Compute op finished.
+    ComputeDone,
+    /// An FM_initialize step finished.
+    InitStep,
+}
+
+/// The discrete events driving the world.
+#[derive(Debug, Clone)]
+pub enum Event {
+    // ---- control plane -------------------------------------------------
+    /// The masterd's quantum timer fired.
+    QuantumExpired,
+    /// A node's *local* scheduler timer fired (uncoordinated mode only).
+    NodeTick {
+        /// The node.
+        node: usize,
+    },
+    /// A masterd command reached a noded.
+    CtrlToNode {
+        /// Destination node.
+        node: usize,
+        /// The command.
+        cmd: NodedCmd,
+    },
+    /// A noded report reached the masterd.
+    CtrlToMaster {
+        /// The report.
+        msg: MasterMsg,
+    },
+    /// The noded finished dispatching a command (after daemon scheduling
+    /// jitter and CPU queueing).
+    NodedAct {
+        /// Acting node.
+        node: usize,
+        /// The command being executed.
+        cmd: NodedCmd,
+    },
+
+    // ---- data plane ----------------------------------------------------
+    /// A frame fully arrived at its destination NIC.
+    FrameArrive {
+        /// Destination node.
+        node: usize,
+        /// The frame.
+        frame: Frame,
+    },
+    /// The NIC send engine finished injecting one data packet.
+    SendEngineDone {
+        /// The node.
+        node: usize,
+    },
+    /// The NIC receive engine finished landing one data packet into the
+    /// receive queue.
+    RecvEngineDone {
+        /// The node.
+        node: usize,
+        /// The landed packet.
+        pkt: Packet,
+    },
+    /// The NIC finished its serial halt broadcast.
+    HaltBroadcastDone {
+        /// The node.
+        node: usize,
+    },
+    /// The NIC finished its serial ready broadcast.
+    ReadyBroadcastDone {
+        /// The node.
+        node: usize,
+    },
+
+    // ---- host ----------------------------------------------------------
+    /// Try to advance a process's program (it was unblocked or resumed).
+    ProcKick {
+        /// The node.
+        node: usize,
+        /// The process.
+        pid: Pid,
+    },
+    /// A host-CPU work item for a process completed.
+    HostOpDone {
+        /// The node.
+        node: usize,
+        /// The process.
+        pid: Pid,
+        /// What completed.
+        op: HostOp,
+    },
+    /// The buffer-switch copy completed on a node.
+    CopyDone {
+        /// The node.
+        node: usize,
+    },
+    /// An endpoint fault (save victim + restore faulted endpoint)
+    /// completed on a node (CachedEndpoints policy).
+    FaultDone {
+        /// The node.
+        node: usize,
+        /// The job whose endpoint was faulted in.
+        job: u32,
+    },
+}

@@ -1,0 +1,562 @@
+//! Host-side process execution: FM_initialize, FM_send fragmentation,
+//! FM_extract, compute, and program completion.
+
+use fastmsg::init::InitStep;
+use fastmsg::packet::{fragment_payload, fragments_for, Packet, HEADER_BYTES};
+use hostsim::process::{Pid, Signal};
+use parpar::protocol::MasterMsg;
+use sim_core::engine::Scheduler;
+use sim_core::time::{Cycles, SimTime};
+use sim_core::trace::Category;
+
+use crate::event::{Event, HostOp};
+use crate::procsim::{BlockReason, ProcPhase, SendProgress};
+use crate::world::World;
+
+/// Outcome of one scheduling decision for a process.
+enum Step {
+    /// Something was decided that lets the driver loop continue.
+    Continue,
+    /// The process is waiting (busy, blocked, stopped, or finished).
+    Park,
+}
+
+impl World {
+    /// Advance a process as far as it can go right now.
+    pub(crate) fn proc_kick(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        sched: &mut Scheduler<Event>,
+    ) {
+        // Every Continue makes observable progress (an op consumed, a block
+        // cleared); the bound is a livelock tripwire, not a budget.
+        for _ in 0..1_000_000 {
+            match self.proc_step(now, node, pid, sched) {
+                Step::Continue => continue,
+                Step::Park => return,
+            }
+        }
+        panic!("process {pid} on node {node} livelocked (program makes no progress)");
+    }
+
+    fn proc_step(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        sched: &mut Scheduler<Event>,
+    ) -> Step {
+        let n = &mut self.nodes[node];
+        let Some(proc) = n.apps.get_mut(&pid) else {
+            return Step::Park;
+        };
+        if proc.phase == ProcPhase::Finished
+            || proc.busy
+            || !n.procs.get(pid).is_some_and(|p| p.is_active())
+        {
+            return Step::Park;
+        }
+
+        // Resolve a block if its condition cleared.
+        if let Some(b) = proc.blocked {
+            let resolved = match b {
+                BlockReason::RecvWait { target } => proc.fm.stats.msgs_received >= target,
+                BlockReason::Credits { peer } => proc.fm.flow.can_send(peer),
+                BlockReason::SendSpace => {
+                    let job = proc.fm.job;
+                    n.nic
+                        .find_context(job)
+                        .map(|c| !n.nic.context(c).unwrap().send_q.is_full())
+                        .unwrap_or(false)
+                }
+                BlockReason::PipeRead => proc.pipe.buffered() > 0,
+                BlockReason::ContextFault => {
+                    let job = proc.fm.job;
+                    proc.deferred_pkt.is_none() && n.nic.find_context(job).is_some()
+                }
+            };
+            if !resolved {
+                // While FM_send spins for credits or queue space it also
+                // polls FM_extract, which is how piggybacked credits are
+                // ever seen.
+                if matches!(b, BlockReason::ContextFault) {
+                    // The endpoint may have been evicted again since the
+                    // fault that unblocked us was served: re-raise it.
+                    let job = self.nodes[node].apps[&pid].fm.job;
+                    if self.nodes[node].apps[&pid].deferred_pkt.is_none() {
+                        self.begin_fault(now, node, job, sched);
+                    }
+                    return Step::Park;
+                }
+                if !matches!(b, BlockReason::PipeRead) {
+                    self.try_start_extract(now, node, pid, sched);
+                }
+                return Step::Park;
+            }
+            let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+            if matches!(b, BlockReason::PipeRead) {
+                // Consume the sync byte; charge the read.
+                let byte = proc.pipe.read_byte();
+                debug_assert_eq!(byte, Some(1));
+                proc.blocked = None;
+                proc.busy = true;
+                let r = self.nodes[node]
+                    .cpu
+                    .reserve(now, self.cfg.host_costs.pipe_read);
+                sched.at(
+                    r.end,
+                    Event::HostOpDone {
+                        node,
+                        pid,
+                        op: HostOp::InitStep,
+                    },
+                );
+                return Step::Park;
+            }
+            proc.blocked = None;
+            return Step::Continue;
+        }
+
+        if proc.phase == ProcPhase::Initializing {
+            return self.init_step(now, node, pid, sched);
+        }
+
+        if proc.sending.is_some() {
+            return self.advance_send(now, node, pid, sched);
+        }
+
+        // Ask the program for the next op.
+        let op = {
+            let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+            proc.next_op(now)
+        };
+        match op {
+            workloads::program::Op::Send { dst, bytes } => {
+                let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+                assert_ne!(dst, proc.rank, "program sent to its own rank");
+                proc.sending = Some(SendProgress {
+                    dst_rank: dst,
+                    bytes,
+                    next_frag: 0,
+                    nfrags: fragments_for(bytes),
+                });
+                if proc.first_send.is_none() {
+                    proc.first_send = Some(now);
+                    let job = proc.job;
+                    self.stats.job_first_send.entry(job).or_insert(now);
+                }
+                Step::Continue
+            }
+            workloads::program::Op::WaitRecvMsgs { target } => {
+                let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+                if proc.fm.stats.msgs_received >= target {
+                    return Step::Continue;
+                }
+                proc.blocked = Some(BlockReason::RecvWait { target });
+                self.try_start_extract(now, node, pid, sched);
+                Step::Park
+            }
+            workloads::program::Op::Compute(c) => {
+                let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+                proc.busy = true;
+                let r = self.nodes[node].cpu.reserve(now, c);
+                sched.at(
+                    r.end,
+                    Event::HostOpDone {
+                        node,
+                        pid,
+                        op: HostOp::ComputeDone,
+                    },
+                );
+                Step::Park
+            }
+            workloads::program::Op::Done => {
+                self.finish_proc(now, node, pid, sched);
+                Step::Park
+            }
+        }
+    }
+
+    /// Drive one FM_initialize step.
+    fn init_step(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        sched: &mut Scheduler<Event>,
+    ) -> Step {
+        let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+        match proc.init.advance() {
+            InitStep::HostWork(c) => {
+                proc.busy = true;
+                let r = self.nodes[node].cpu.reserve(now, c);
+                sched.at(
+                    r.end,
+                    Event::HostOpDone {
+                        node,
+                        pid,
+                        op: HostOp::InitStep,
+                    },
+                );
+                Step::Park
+            }
+            InitStep::GrmRoundTrip | InitStep::CmRoundTrip => {
+                // Stock FM's "costly communication operations" at startup:
+                // a request/response over the control network plus daemon
+                // turnaround.
+                proc.busy = true;
+                let rtt = Cycles::from_us(1500);
+                sched.at(
+                    now + rtt,
+                    Event::HostOpDone {
+                        node,
+                        pid,
+                        op: HostOp::InitStep,
+                    },
+                );
+                Step::Park
+            }
+            InitStep::WaitSyncByte => {
+                // read_byte records the blocked reader inside the pipe, so
+                // the noded's write knows to wake us.
+                if let Some(byte) = proc.pipe.read_byte() {
+                    debug_assert_eq!(byte, 1);
+                    proc.busy = true;
+                    let r = self.nodes[node]
+                        .cpu
+                        .reserve(now, self.cfg.host_costs.pipe_read);
+                    sched.at(
+                        r.end,
+                        Event::HostOpDone {
+                            node,
+                            pid,
+                            op: HostOp::InitStep,
+                        },
+                    );
+                } else {
+                    proc.blocked = Some(BlockReason::PipeRead);
+                }
+                Step::Park
+            }
+            InitStep::Ready => {
+                proc.phase = ProcPhase::Running;
+                let slot = proc.slot;
+                self.trace.emit(now, Category::Fm, Some(node), || {
+                    format!("{pid} FM_initialize complete")
+                });
+                // If this job's slot is not the active one, the process
+                // waits stopped until the gang rotation reaches it.
+                if slot != self.nodes[node].noded.current_slot {
+                    self.nodes[node].procs.signal(pid, Signal::Stop);
+                    return Step::Park;
+                }
+                Step::Continue
+            }
+        }
+    }
+
+    /// Try to inject the next fragment of the in-progress message.
+    fn advance_send(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        sched: &mut Scheduler<Event>,
+    ) -> Step {
+        let n = &mut self.nodes[node];
+        let proc = n.apps.get_mut(&pid).unwrap();
+        let sp = proc.sending.expect("advance_send without a send in progress");
+        if sp.next_frag == sp.nfrags {
+            proc.sending = None;
+            return Step::Continue;
+        }
+        let dst_host = proc.fm.host_of(sp.dst_rank);
+        if !proc.fm.flow.can_send(dst_host) {
+            proc.fm.flow.consume(dst_host); // records the stall
+            proc.blocked = Some(BlockReason::Credits { peer: dst_host });
+            self.try_start_extract(now, node, pid, sched);
+            return Step::Park;
+        }
+        let job = proc.fm.job;
+        let Some(ctx_id) = n.nic.find_context(job) else {
+            // Under endpoint caching the running process's endpoint may
+            // have been evicted: fault it back in.
+            assert!(
+                self.vn_active(),
+                "running process lost its context outside VN caching"
+            );
+            let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+            proc.blocked = Some(BlockReason::ContextFault);
+            self.begin_fault(now, node, job, sched);
+            return Step::Park;
+        };
+        if n.nic.context(ctx_id).unwrap().send_q.is_full() {
+            proc.blocked = Some(BlockReason::SendSpace);
+            self.try_start_extract(now, node, pid, sched);
+            return Step::Park;
+        }
+        assert!(proc.fm.flow.consume(dst_host), "checked can_send above");
+        let payload = fragment_payload(sp.bytes, sp.next_frag);
+        let mut cost = self.cfg.fm_costs.inject_cycles(HEADER_BYTES + payload);
+        if sp.next_frag == 0 {
+            cost += self.cfg.fm_costs.send_call;
+        }
+        proc.busy = true;
+        let r = n.cpu.reserve(now, cost);
+        sched.at(
+            r.end,
+            Event::HostOpDone {
+                node,
+                pid,
+                op: HostOp::SendFragment,
+            },
+        );
+        Step::Park
+    }
+
+    /// Start extracting one packet if the process may and the queue has
+    /// any. (FM_extract: explicit polling, handler runs in place.)
+    pub(crate) fn try_start_extract(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let n = &mut self.nodes[node];
+        let Some(proc) = n.apps.get_mut(&pid) else {
+            return;
+        };
+        if proc.busy
+            || proc.phase != ProcPhase::Running
+            || !n.procs.get(pid).is_some_and(|p| p.is_active())
+        {
+            return;
+        }
+        let job = proc.fm.job;
+        let Some(ctx_id) = n.nic.find_context(job) else {
+            return;
+        };
+        let Some(pkt) = n.nic.context_mut(ctx_id).unwrap().recv_q.pop() else {
+            return;
+        };
+        proc.busy = true;
+        let r = n.cpu.reserve(now, self.cfg.fm_costs.extract_per_packet);
+        sched.at(
+            r.end,
+            Event::HostOpDone {
+                node,
+                pid,
+                op: HostOp::Extract(pkt),
+            },
+        );
+    }
+
+    /// A host work item completed.
+    pub(crate) fn on_host_op_done(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        op: HostOp,
+        sched: &mut Scheduler<Event>,
+    ) {
+        {
+            let proc = self.nodes[node]
+                .apps
+                .get_mut(&pid)
+                .expect("HostOpDone for unknown process");
+            proc.busy = false;
+        }
+        match op {
+            HostOp::SendFragment => self.complete_send_fragment(now, node, pid, sched),
+            HostOp::Extract(pkt) => self.complete_extract(now, node, pid, pkt, sched),
+            HostOp::ComputeDone | HostOp::InitStep => {
+                self.proc_kick(now, node, pid, sched);
+            }
+        }
+    }
+
+    fn complete_send_fragment(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let n = &mut self.nodes[node];
+        let proc = n.apps.get_mut(&pid).unwrap();
+        let sp = proc
+            .sending
+            .as_mut()
+            .expect("fragment completion without a send in progress");
+        let pkt = proc.fm.make_fragment(sp.dst_rank, sp.bytes, sp.next_frag);
+        sp.next_frag += 1;
+        if sp.next_frag == sp.nfrags {
+            proc.sending = None;
+        }
+        let job = proc.fm.job;
+        let Some(ctx_id) = n.nic.find_context(job) else {
+            // Evicted between the space check and the injection (VN
+            // caching): defer the built fragment and fault the endpoint.
+            assert!(self.vn_active(), "context disappeared mid-send");
+            let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+            assert!(proc.deferred_pkt.is_none());
+            proc.deferred_pkt = Some(pkt);
+            proc.blocked = Some(BlockReason::ContextFault);
+            self.begin_fault(now, node, job, sched);
+            return;
+        };
+        n.nic
+            .context_mut(ctx_id)
+            .unwrap()
+            .send_q
+            .push(pkt)
+            .expect("send queue overflowed despite the space check");
+        self.vn_touch(now, node, job);
+        self.kick_send_engine(now, node, sched);
+        self.proc_kick(now, node, pid, sched);
+    }
+
+    fn complete_extract(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        pkt: Packet,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let payload = pkt.payload as u64;
+        let (job, refill_due) = {
+            let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+            let res = proc.fm.on_extract(&pkt);
+            // A blocked state may now be resolvable; proc_kick below
+            // re-evaluates it.
+            (proc.job, res.refill_due)
+        };
+        self.stats
+            .job_bw
+            .entry(job)
+            .or_default()
+            .record(now, payload);
+        if let Some((peer, k)) = refill_due {
+            self.queue_refill(now, node, pid, peer, k, sched);
+        }
+        self.proc_kick(now, node, pid, sched);
+    }
+
+    /// Emit a dedicated refill packet (or defer it if the send queue is
+    /// momentarily full).
+    pub(crate) fn queue_refill(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        peer: usize,
+        credits: usize,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let n = &mut self.nodes[node];
+        let proc = n.apps.get_mut(&pid).unwrap();
+        let job = proc.fm.job;
+        let ctx = n
+            .nic
+            .find_context(job)
+            .and_then(|c| n.nic.context_mut(c));
+        match ctx {
+            Some(ctx) if !ctx.send_q.is_full() => {
+                let pkt = proc.fm.make_refill(peer, credits);
+                ctx.send_q.push(pkt).unwrap();
+                self.kick_send_engine(now, node, sched);
+            }
+            _ => {
+                *proc.pending_refills.entry(peer).or_insert(0) += credits;
+            }
+        }
+    }
+
+    /// Retry deferred refills once send-queue space frees up.
+    pub(crate) fn drain_pending_refills(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let pids: Vec<Pid> = self.nodes[node]
+            .apps
+            .iter()
+            .filter(|(_, p)| !p.pending_refills.is_empty() && p.phase != ProcPhase::Finished)
+            .map(|(pid, _)| *pid)
+            .collect();
+        for pid in pids {
+            let pending: Vec<(usize, usize)> = {
+                let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+                std::mem::take(&mut proc.pending_refills).into_iter().collect()
+            };
+            for (peer, k) in pending {
+                self.queue_refill(now, node, pid, peer, k, sched);
+            }
+        }
+    }
+
+    /// The program returned Done: tear the process down (COMM_end_job),
+    /// deferring until its send queue drains.
+    pub(crate) fn finish_proc(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        sched: &mut Scheduler<Event>,
+    ) {
+        {
+            let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+            proc.phase = ProcPhase::Finished;
+            proc.finished_at = Some(now);
+            proc.pending_refills.clear();
+        }
+        self.trace
+            .emit(now, Category::App, Some(node), || format!("{pid} done"));
+        self.try_end_job(now, node, pid, sched);
+    }
+
+    /// Complete COMM_end_job once the context's send queue is empty (its
+    /// last packets — e.g. the p2p finish message — must reach the wire).
+    pub(crate) fn try_end_job(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let n = &mut self.nodes[node];
+        let Some(proc) = n.apps.get(&pid) else {
+            return;
+        };
+        if proc.phase != ProcPhase::Finished || proc.finished_at.is_none() {
+            return;
+        }
+        let job = proc.job;
+        if let Some(ctx_id) = n.nic.find_context(job.0) {
+            if !n.nic.context(ctx_id).unwrap().send_q.is_empty() {
+                return; // drained later; SendEngineDone retries
+            }
+        } else if !n.backing.contains(pid) {
+            return; // already torn down
+        }
+        // COMM_end_job: release the context / backing entry.
+        self.comm_end_job(now, node, job.0, pid)
+            .expect("end_job: context vanished");
+        let n = &mut self.nodes[node];
+        n.procs.signal(pid, Signal::Kill);
+        n.noded.remove_job(job);
+        let t = self.ctrl.unicast_to_master(now);
+        sched.at(
+            t,
+            Event::CtrlToMaster {
+                msg: MasterMsg::JobFinished { job, node },
+            },
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # cluster — the full simulated ParPar system
+//!
+//! Binds every substrate into one discrete-event world: the Myrinet data
+//! network, LANai NICs, host CPUs and processes, the ParPar daemons, the
+//! FM library, and the gang-comm context-switch machinery — then runs
+//! application [`workloads`] on top with full protocol timing.
+//!
+//! Use [`Sim`] to build a cluster, submit workloads, and run; use
+//! [`measure`] for the prepackaged paper experiments (Figs. 5–9).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod data;
+pub mod drive;
+pub mod event;
+pub mod glue;
+pub mod host;
+pub mod measure;
+pub mod node;
+pub mod procsim;
+pub mod stats;
+pub mod switch;
+pub mod vn;
+pub mod world;
+
+pub use config::{ClusterConfig, TopologyKind};
+pub use event::{Event, Frame, HostOp};
+pub use glue::GlueFm;
+pub use node::NodeSim;
+pub use procsim::{BlockReason, ProcPhase, ProcSim};
+pub use stats::{QueueSample, WorldStats};
+pub use world::{Sim, World};

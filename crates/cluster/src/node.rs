@@ -1,0 +1,111 @@
+//! Per-node composite state: host, NIC, daemon, processes.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fastmsg::packet::Packet;
+use gang_comm::sequencer::SwitchSequencer;
+use gang_comm::state::SavedCommState;
+use hostsim::backing::BackingStore;
+use hostsim::cpu::HostCpu;
+use hostsim::process::{Pid, ProcessTable};
+use lanai::nic::Nic;
+use parpar::noded::Noded;
+
+use crate::procsim::ProcSim;
+
+/// One compute node of the simulated cluster.
+pub struct NodeSim {
+    /// Node id (= host id on the data network).
+    pub id: usize,
+    /// The host CPU timeline.
+    pub cpu: HostCpu,
+    /// Kernel process table.
+    pub procs: ProcessTable,
+    /// The node daemon's slot bookkeeping.
+    pub noded: Noded,
+    /// The NIC.
+    pub nic: Nic<Packet>,
+    /// The three-phase switch sequencer.
+    pub seq: SwitchSequencer,
+    /// Pageable backing store for descheduled jobs' queue contents.
+    pub backing: BackingStore<SavedCommState<Packet>>,
+    /// Application-process simulation state by pid.
+    pub apps: BTreeMap<Pid, ProcSim>,
+    /// True while a SendEngineDone event is outstanding.
+    pub send_engine_busy: bool,
+    /// The noded asked for a halt; the engine starts the halt broadcast at
+    /// the next packet boundary.
+    pub halt_requested: bool,
+    /// The halt broadcast has been started (at most once per switch).
+    pub halt_broadcast_started: bool,
+    /// COMM_init_node has run (control program loaded into the LANai).
+    pub nic_initialized: bool,
+    /// The node is in service (COMM_add_node / COMM_remove_node).
+    pub in_service: bool,
+    /// Data packets injected but not yet acknowledged (AckDrain strategy).
+    pub outstanding: u64,
+    /// Endpoint fault in progress (CachedEndpoints policy): the job being
+    /// faulted in.
+    pub fault_in_progress: Option<u32>,
+    /// Jobs waiting for an endpoint fault.
+    pub fault_queue: VecDeque<u32>,
+    /// Packets that arrived for non-resident endpoints, held until their
+    /// endpoint faults in (virtual-networks semantics).
+    pub parked: Vec<fastmsg::packet::Packet>,
+    /// Last-activity instant per job, for LRU endpoint eviction.
+    pub lru: BTreeMap<u32, sim_core::time::SimTime>,
+    /// Endpoint faults served on this node.
+    pub faults: u64,
+    /// State of a non-flush switch in progress (ShareDiscard / AckDrain).
+    pub alt_switch: Option<AltSwitch>,
+}
+
+/// Progress of a ShareDiscard or AckDrain switch on one node.
+#[derive(Debug, Clone, Copy)]
+pub struct AltSwitch {
+    /// Switch epoch.
+    pub epoch: u64,
+    /// Slot being descheduled.
+    pub from: usize,
+    /// Slot being scheduled.
+    pub to: usize,
+    /// When the SwitchSlot command was acted on.
+    pub started: sim_core::time::SimTime,
+    /// When the halt/drain phase completed (copy began).
+    pub halt_done: sim_core::time::SimTime,
+    /// True once the copy has been scheduled.
+    pub copying: bool,
+}
+
+impl NodeSim {
+    /// A fresh node.
+    pub fn new(id: usize, peers: usize, nic: Nic<Packet>) -> Self {
+        NodeSim {
+            id,
+            cpu: HostCpu::new(),
+            procs: ProcessTable::new(),
+            noded: Noded::new(id),
+            nic,
+            seq: SwitchSequencer::new(peers),
+            backing: BackingStore::new(),
+            apps: BTreeMap::new(),
+            send_engine_busy: false,
+            halt_requested: false,
+            halt_broadcast_started: false,
+            nic_initialized: false,
+            in_service: true,
+            outstanding: 0,
+            fault_in_progress: None,
+            fault_queue: VecDeque::new(),
+            parked: Vec::new(),
+            lru: BTreeMap::new(),
+            faults: 0,
+            alt_switch: None,
+        }
+    }
+
+    /// The app process (if any) occupying `slot` on this node.
+    pub fn app_in_slot(&self, slot: usize) -> Option<Pid> {
+        self.noded.in_slot(slot).map(|(_, pid)| pid)
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-process simulation state: the program, the FM library instance, and
+//! the operation currently in flight.
+
+use std::collections::BTreeMap;
+
+use fastmsg::init::InitMachine;
+use fastmsg::proc::FmProcess;
+use hostsim::pipe::Pipe;
+use hostsim::process::Pid;
+use parpar::job::JobId;
+use sim_core::time::SimTime;
+use workloads::program::{Op, Program};
+
+/// Why a process cannot currently make progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// FM_send is spinning for credits toward this peer host.
+    Credits {
+        /// The peer host we need credits for.
+        peer: usize,
+    },
+    /// The NIC send queue is full.
+    SendSpace,
+    /// Waiting for the cumulative received-message count to reach a target.
+    RecvWait {
+        /// The target count.
+        target: u64,
+    },
+    /// FM_initialize is blocked reading the sync byte from the pipe.
+    PipeRead,
+    /// The process's NIC endpoint is being faulted in (CachedEndpoints).
+    ContextFault,
+}
+
+/// Progress of a multi-fragment FM_send.
+#[derive(Debug, Clone, Copy)]
+pub struct SendProgress {
+    /// Destination rank.
+    pub dst_rank: usize,
+    /// Total message bytes.
+    pub bytes: u64,
+    /// Next fragment index to inject.
+    pub next_frag: u64,
+    /// Total fragments.
+    pub nfrags: u64,
+}
+
+/// Lifecycle of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcPhase {
+    /// Inside FM_initialize.
+    Initializing,
+    /// Executing its program.
+    Running,
+    /// Program returned Done.
+    Finished,
+}
+
+/// One simulated application process.
+pub struct ProcSim {
+    /// Host-local pid.
+    pub pid: Pid,
+    /// Owning job.
+    pub job: JobId,
+    /// Rank within the job.
+    pub rank: usize,
+    /// Gang-matrix slot the job occupies.
+    pub slot: usize,
+    /// FM library state (lives in process memory; never buffer-switched).
+    pub fm: FmProcess,
+    /// The application behavior.
+    pub program: Box<dyn Program>,
+    /// FM_initialize progress.
+    pub init: InitMachine,
+    /// Lifecycle phase.
+    pub phase: ProcPhase,
+    /// The in-progress message send, if any.
+    pub sending: Option<SendProgress>,
+    /// Why the process is blocked, if it is.
+    pub blocked: Option<BlockReason>,
+    /// True while a HostOpDone event is outstanding for this process.
+    pub busy: bool,
+    /// The noded↔process sync pipe (Fig. 2).
+    pub pipe: Pipe,
+    /// Refill credits owed per peer host when the send queue was full at
+    /// refill time; drained opportunistically.
+    pub pending_refills: BTreeMap<usize, usize>,
+    /// A fragment built while the endpoint was being evicted; injected as
+    /// soon as the endpoint faults back in (CachedEndpoints only).
+    pub deferred_pkt: Option<fastmsg::packet::Packet>,
+    /// When this process issued its first Send (opens the paper's
+    /// bandwidth-measurement interval).
+    pub first_send: Option<SimTime>,
+    /// When the program returned Done.
+    pub finished_at: Option<SimTime>,
+}
+
+impl std::fmt::Debug for ProcSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcSim")
+            .field("pid", &self.pid)
+            .field("job", &self.job)
+            .field("rank", &self.rank)
+            .field("slot", &self.slot)
+            .field("phase", &self.phase)
+            .field("blocked", &self.blocked)
+            .field("busy", &self.busy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProcSim {
+    /// Observable state handed to the program when choosing its next op.
+    pub fn view(&self, now: SimTime) -> workloads::program::ProcView {
+        workloads::program::ProcView {
+            now,
+            rank: self.rank,
+            nprocs: self.fm.nprocs(),
+            msgs_received: self.fm.stats.msgs_received,
+            bytes_received: self.fm.stats.bytes_received,
+            msgs_sent: self.fm.stats.msgs_sent,
+        }
+    }
+
+    /// Ask the program for its next op.
+    pub fn next_op(&mut self, now: SimTime) -> Op {
+        let view = self.view(now);
+        self.program.next_op(&view)
+    }
+}

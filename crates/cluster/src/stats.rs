@@ -1,0 +1,108 @@
+//! Cluster-wide measurement collection.
+
+use std::collections::BTreeMap;
+
+use gang_comm::overhead::OverheadLedger;
+use gang_comm::sequencer::StageBreakdown;
+use parpar::job::JobId;
+use sim_core::stats::BandwidthMeter;
+use sim_core::time::SimTime;
+
+/// One Fig. 8 sample: valid packets found in the outgoing context's queues
+/// when the buffer switch ran.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSample {
+    /// Sampling node.
+    pub node: usize,
+    /// Switch epoch.
+    pub epoch: u64,
+    /// Valid packets in the send queue.
+    pub send_valid: usize,
+    /// Valid packets in the receive queue.
+    pub recv_valid: usize,
+}
+
+/// Everything the experiment harnesses read after a run.
+#[derive(Debug, Default)]
+pub struct WorldStats {
+    /// Per-stage switch-cycle aggregation (Figs. 7/9).
+    pub ledger: OverheadLedger,
+    /// Raw per-node stage samples.
+    pub stage_samples: Vec<(usize, u64, StageBreakdown)>,
+    /// Queue-occupancy samples at switch time (Fig. 8).
+    pub queue_samples: Vec<QueueSample>,
+    /// Receiver-side payload bandwidth per job (Figs. 5/6).
+    pub job_bw: BTreeMap<JobId, BandwidthMeter>,
+    /// When each job's processes all reported up (AllUp broadcast).
+    pub job_all_up: BTreeMap<JobId, SimTime>,
+    /// When each job's first data send was issued.
+    pub job_first_send: BTreeMap<JobId, SimTime>,
+    /// When each job fully finished.
+    pub job_finished: BTreeMap<JobId, SimTime>,
+    /// Data packets dropped (possible only under ShareDiscard).
+    pub drops: u64,
+    /// Packets lost to injected wire faults.
+    pub wire_losses: u64,
+    /// Completed cluster-wide switches.
+    pub switches: u64,
+}
+
+impl WorldStats {
+    /// Record one node's completed switch.
+    pub fn record_switch(&mut self, node: usize, epoch: u64, b: StageBreakdown) {
+        self.ledger.record(&b);
+        self.stage_samples.push((node, epoch, b));
+    }
+
+    /// The paper's Fig. 5/6 bandwidth for a finished job: payload bytes
+    /// over the send-start → finish interval, in MB/s.
+    pub fn job_bandwidth_mbps(&self, job: JobId, payload_bytes: u64) -> Option<f64> {
+        let start = *self.job_first_send.get(&job)?;
+        let end = *self.job_finished.get(&job)?;
+        let secs = end.since(start).as_secs();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(payload_bytes as f64 / 1e6 / secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gang_comm::sequencer::StageBreakdown;
+    use sim_core::time::Cycles;
+
+    #[test]
+    fn job_bandwidth_uses_send_to_finish_interval() {
+        let mut s = WorldStats::default();
+        let job = JobId(1);
+        s.job_first_send.insert(job, SimTime(0));
+        // 200 M cycles = 1 s; 50 MB over it = 50 MB/s.
+        s.job_finished.insert(job, SimTime(200_000_000));
+        let bw = s.job_bandwidth_mbps(job, 50_000_000).unwrap();
+        assert!((bw - 50.0).abs() < 1e-9);
+        // Unknown job: None.
+        assert!(s.job_bandwidth_mbps(JobId(9), 1).is_none());
+        // Zero-length interval: None.
+        s.job_first_send.insert(JobId(2), SimTime(5));
+        s.job_finished.insert(JobId(2), SimTime(5));
+        assert!(s.job_bandwidth_mbps(JobId(2), 1).is_none());
+    }
+
+    #[test]
+    fn record_switch_feeds_ledger_and_samples() {
+        let mut s = WorldStats::default();
+        let b = StageBreakdown {
+            halt: Cycles(100),
+            buffer_switch: Cycles(1000),
+            release: Cycles(200),
+        };
+        s.record_switch(3, 7, b);
+        assert_eq!(s.ledger.samples(), 1);
+        assert_eq!(s.stage_samples.len(), 1);
+        assert_eq!(s.stage_samples[0].0, 3);
+        assert_eq!(s.stage_samples[0].1, 7);
+        assert_eq!(s.ledger.mean_total(), 1300.0);
+    }
+}

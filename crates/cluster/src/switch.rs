@@ -1,0 +1,340 @@
+//! The three-phase gang context switch (paper §3.2) and the §5 baseline
+//! strategies.
+
+use fastmsg::division::BufferPolicy;
+use gang_comm::state::SavedCommState;
+use gang_comm::strategy::SwitchStrategy;
+use gang_comm::switcher;
+use hostsim::process::Signal;
+use parpar::protocol::MasterMsg;
+use sim_core::engine::Scheduler;
+use sim_core::time::{Cycles, SimTime};
+use sim_core::trace::Category;
+
+use crate::event::Event;
+use crate::node::AltSwitch;
+use crate::stats::QueueSample;
+use crate::world::World;
+
+impl World {
+    /// The noded received SwitchSlot: run the strategy's switch sequence.
+    pub(crate) fn start_switch(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        epoch: u64,
+        from: usize,
+        to: usize,
+        sched: &mut Scheduler<Event>,
+    ) {
+        self.nodes[node].noded.current_slot = to;
+        self.trace.emit(now, Category::Switch, Some(node), || {
+            format!("switch epoch {epoch}: slot {from} -> {to}")
+        });
+
+        // SIGSTOP the outgoing process first: "at this point it is assured
+        // that the process will not produce any more packets".
+        if let Some(pid) = self.nodes[node].app_in_slot(from) {
+            self.nodes[node].procs.signal(pid, Signal::Stop);
+        }
+
+        match self.cfg.strategy {
+            SwitchStrategy::GangFlush => {
+                if matches!(
+                    self.cfg.fm.policy,
+                    BufferPolicy::StaticDivision | BufferPolicy::CachedEndpoints
+                ) {
+                    // Every context is permanently resident: nothing to
+                    // flush or copy — the switch is just signals.
+                    self.resume_incoming(now, node, to, sched);
+                    self.report_switch_done(now, node, epoch, sched);
+                    return;
+                }
+                self.nodes[node].seq.start(now, epoch, from, to);
+                // COMM_halt_network: stop sending on a packet boundary and
+                // run the global flush protocol.
+                self.comm_halt_network(now, node, sched)
+                    .expect("halt ordered while idle");
+            }
+            SwitchStrategy::ShareDiscard { .. } => {
+                // No flush at all: copy immediately; stragglers are dropped
+                // by the job-ID check on arrival.
+                let n = &mut self.nodes[node];
+                n.nic.set_halt_bit(true); // stop draining the send queue
+                n.alt_switch = Some(AltSwitch {
+                    epoch,
+                    from,
+                    to,
+                    started: now,
+                    halt_done: now,
+                    copying: true,
+                });
+                let cost = self.copy_cost_for(node, from, to);
+                let r = self.nodes[node].cpu.reserve(now, cost);
+                sched.at(r.end, Event::CopyDone { node });
+            }
+            SwitchStrategy::AckDrain => {
+                // Stop sending, then wait until all our in-flight packets
+                // are acknowledged — a per-node drain, no broadcasts.
+                let n = &mut self.nodes[node];
+                n.nic.set_halt_bit(true);
+                n.alt_switch = Some(AltSwitch {
+                    epoch,
+                    from,
+                    to,
+                    started: now,
+                    halt_done: now,
+                    copying: false,
+                });
+                self.alt_drain_maybe_done(now, node, sched);
+            }
+        }
+    }
+
+    /// AckDrain: if the send engine is quiet and nothing is outstanding,
+    /// the drain phase is over — start the copy.
+    pub(crate) fn alt_drain_maybe_done(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let n = &mut self.nodes[node];
+        let Some(ref mut alt) = n.alt_switch else {
+            return;
+        };
+        if alt.copying || n.outstanding > 0 || n.send_engine_busy {
+            return;
+        }
+        alt.copying = true;
+        alt.halt_done = now;
+        let (from, to) = (alt.from, alt.to);
+        let cost = self.copy_cost_for(node, from, to);
+        let r = self.nodes[node].cpu.reserve(now, cost);
+        sched.at(r.end, Event::CopyDone { node });
+    }
+
+    /// Occupancy-dependent buffer-switch cost; also records the Fig. 8
+    /// queue sample for the outgoing context.
+    pub(crate) fn copy_cost_for(&mut self, node: usize, from: usize, to: usize) -> Cycles {
+        let out = self.occupancy_of_slot(node, from, true);
+        let inc = self.incoming_occupancy(node, to);
+        let epoch = self.current_epoch(node);
+        if let Some((s, r)) = out {
+            self.stats.queue_samples.push(QueueSample {
+                node,
+                epoch,
+                send_valid: s,
+                recv_valid: r,
+            });
+        }
+        let mut cost = Cycles::from_us(5); // noded bookkeeping floor
+        if let Some((s, r)) = out {
+            cost += switcher::save_cost(
+                self.cfg.copy,
+                &self.cfg.fm,
+                &self.cfg.mem,
+                &self.cfg.switch_costs,
+                s,
+                r,
+            );
+        }
+        if let Some((s, r)) = inc {
+            cost += switcher::restore_cost(
+                self.cfg.copy,
+                &self.cfg.fm,
+                &self.cfg.mem,
+                &self.cfg.switch_costs,
+                s,
+                r,
+            );
+        }
+        // Real copies vary run to run (cache state, DRAM refresh); the
+        // variance is what desynchronizes the release phase.
+        if self.cfg.copy_jitter_pct > 0.0 {
+            let f = 1.0 + self.cfg.copy_jitter_pct * (2.0 * self.rng.unit() - 1.0);
+            cost = Cycles((cost.raw() as f64 * f) as u64);
+        }
+        cost
+    }
+
+    fn current_epoch(&self, node: usize) -> u64 {
+        self.nodes[node]
+            .alt_switch
+            .map(|a| a.epoch)
+            .unwrap_or(self.nodes[node].seq.epoch)
+    }
+
+    /// (send, recv) occupancy of the resident context of the job in `slot`
+    /// on `node`, if any.
+    fn occupancy_of_slot(&self, node: usize, slot: usize, resident: bool) -> Option<(usize, usize)> {
+        let pid = self.nodes[node].app_in_slot(slot)?;
+        let proc = self.nodes[node].apps.get(&pid)?;
+        if resident {
+            let ctx_id = self.nodes[node].nic.find_context(proc.fm.job)?;
+            let ctx = self.nodes[node].nic.context(ctx_id)?;
+            Some((ctx.send_q.len(), ctx.recv_q.len()))
+        } else {
+            None
+        }
+    }
+
+    /// Saved occupancy of the incoming job's state in the backing store.
+    fn incoming_occupancy(&self, node: usize, to: usize) -> Option<(usize, usize)> {
+        let pid = self.nodes[node].app_in_slot(to)?;
+        self.nodes[node].backing.peek(pid).map(|s| s.occupancy())
+    }
+
+    /// The flush completed on this node: begin the buffer switch.
+    pub(crate) fn finish_flush(&mut self, now: SimTime, node: usize, sched: &mut Scheduler<Event>) {
+        self.nodes[node].seq.flush_complete(now);
+        self.trace
+            .emit(now, Category::Switch, Some(node), || "flushed".to_string());
+        // COMM_context_switch: swap buffers.
+        self.comm_context_switch(now, node, sched)
+            .expect("copy ordered before flush completed");
+    }
+
+    /// The buffer copy finished: move the queue contents and enter the
+    /// release phase (or, for the baselines, finish directly).
+    pub(crate) fn on_copy_done(&mut self, now: SimTime, node: usize, sched: &mut Scheduler<Event>) {
+        let (from, to, alt) = match self.nodes[node].alt_switch {
+            Some(a) => (a.from, a.to, true),
+            None => {
+                let s = &self.nodes[node].seq;
+                (s.from_slot, s.to_slot, false)
+            }
+        };
+        self.move_buffers(now, node, from, to);
+        if alt {
+            self.finish_alt_switch(now, node, to, sched);
+        } else {
+            self.nodes[node].seq.copy_complete(now);
+            // COMM_release_network: broadcast ready, collect peers' readys.
+            self.comm_release_network(now, node, sched)
+                .expect("release ordered before the copy completed");
+        }
+    }
+
+    /// Physically exchange the queue contents (paper Fig. 4).
+    fn move_buffers(&mut self, now: SimTime, node: usize, from: usize, to: usize) {
+        // Save the outgoing context.
+        if let Some(pid_out) = self.nodes[node].app_in_slot(from) {
+            let n = &mut self.nodes[node];
+            let job = n.apps[&pid_out].fm.job;
+            if let Some(ctx_id) = n.nic.find_context(job) {
+                let mut ctx = n.nic.free_context(ctx_id).unwrap();
+                let saved = SavedCommState::new(
+                    job,
+                    ctx.send_q.drain_all(),
+                    ctx.recv_q.drain_all(),
+                );
+                let bytes = saved.stored_bytes();
+                n.backing.save(pid_out, saved, bytes);
+            }
+        }
+        // Restore the incoming context.
+        if let Some(pid_in) = self.nodes[node].app_in_slot(to) {
+            let n = &mut self.nodes[node];
+            if let Some(saved) = n.backing.restore(pid_in) {
+                let geo = self.cfg.fm.geometry();
+                let proc = &n.apps[&pid_in];
+                assert_eq!(saved.job, proc.fm.job, "backing store mix-up");
+                let ctx_id = n
+                    .nic
+                    .alloc_context(saved.job, proc.rank, geo.send_slots, geo.recv_slots)
+                    .expect("NIC context slot must be free after eviction");
+                let ctx = n.nic.context_mut(ctx_id).unwrap();
+                ctx.send_q.load(saved.send_q);
+                ctx.recv_q.load(saved.recv_q);
+            }
+        }
+        self.trace.emit(now, Category::Switch, Some(node), || {
+            format!("buffers switched (slot {from} -> {to})")
+        });
+    }
+
+    /// Release protocol complete: restart communication and resume the
+    /// incoming process.
+    pub(crate) fn finish_release(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let breakdown = self.nodes[node].seq.finish(now);
+        let epoch = self.nodes[node].seq.epoch;
+        let to = self.nodes[node].seq.to_slot;
+        self.stats.record_switch(node, epoch, breakdown);
+        {
+            let n = &mut self.nodes[node];
+            n.nic.set_halt_bit(false);
+            n.halt_requested = false;
+            n.halt_broadcast_started = false;
+            n.noded.switches_done += 1;
+        }
+        self.kick_send_engine(now, node, sched);
+        self.resume_incoming(now, node, to, sched);
+        self.report_switch_done(now, node, epoch, sched);
+    }
+
+    /// Finish a ShareDiscard/AckDrain switch (no release protocol).
+    fn finish_alt_switch(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        to: usize,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let alt = self.nodes[node].alt_switch.take().unwrap();
+        let breakdown = gang_comm::sequencer::StageBreakdown {
+            halt: alt.halt_done.since(alt.started),
+            buffer_switch: now.since(alt.halt_done),
+            release: Cycles::ZERO,
+        };
+        self.stats.record_switch(node, alt.epoch, breakdown);
+        {
+            let n = &mut self.nodes[node];
+            n.nic.set_halt_bit(false);
+            n.noded.switches_done += 1;
+        }
+        self.kick_send_engine(now, node, sched);
+        self.resume_incoming(now, node, to, sched);
+        self.report_switch_done(now, node, alt.epoch, sched);
+    }
+
+    fn resume_incoming(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        to: usize,
+        sched: &mut Scheduler<Event>,
+    ) {
+        if let Some(pid_in) = self.nodes[node].app_in_slot(to) {
+            self.nodes[node].procs.signal(pid_in, Signal::Cont);
+            sched.at(
+                now + self.cfg.host_costs.signal,
+                Event::ProcKick {
+                    node,
+                    pid: pid_in,
+                },
+            );
+        }
+    }
+
+    fn report_switch_done(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        epoch: u64,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let t = self.ctrl.unicast_to_master(now);
+        sched.at(
+            t,
+            Event::CtrlToMaster {
+                msg: MasterMsg::SwitchDone { epoch, node },
+            },
+        );
+    }
+}

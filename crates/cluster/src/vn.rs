@@ -1,0 +1,286 @@
+//! Virtual-networks endpoint caching (paper §5, Chun/Mainwaring/Culler):
+//! "the solution for the lack of space on the NIC is to cache active
+//! endpoints on the NIC, while moving inactive ones to backing store on
+//! the node computer. This approach … does not create any linkage between
+//! the communication subsystem and the scheduling of communicating
+//! processes."
+//!
+//! Under `BufferPolicy::CachedEndpoints` the NIC holds up to `k` resident
+//! endpoints (each a 1/k share of the buffers). A send to — or an arrival
+//! for — a non-resident endpoint raises a *fault*: the host evicts the
+//! LRU endpoint to backing store and restores the faulted one, paying the
+//! same copy costs as the paper's buffer switch, but reactively, on the
+//! critical path of the first message. Arrivals wait in a parking area
+//! while their endpoint faults in (the VN paper's return-to-sender is
+//! modeled as a drop-notify once parking overflows).
+
+use fastmsg::division::BufferPolicy;
+use gang_comm::state::SavedCommState;
+use gang_comm::switcher;
+use myrinet::broadcast::CONTROL_PACKET_BYTES;
+use sim_core::engine::Scheduler;
+use sim_core::time::{Cycles, SimTime};
+use sim_core::trace::Category;
+
+use crate::event::{Event, Frame};
+use crate::procsim::BlockReason;
+use crate::world::World;
+
+/// Extra parking beyond one endpoint's receive ring (headroom for refill
+/// packets in flight; data in flight is already bounded by credits).
+pub const PARKING_HEADROOM: usize = 16;
+
+/// Fixed host overhead of taking an endpoint fault (NIC interrupt, driver
+/// entry, page lookups).
+pub const FAULT_OVERHEAD: Cycles = Cycles(10_000); // 50 µs
+
+impl World {
+    /// Is the virtual-networks residency policy active?
+    pub(crate) fn vn_active(&self) -> bool {
+        self.cfg.fm.policy == BufferPolicy::CachedEndpoints
+    }
+
+    /// Note activity on `job`'s endpoint (for LRU eviction).
+    pub(crate) fn vn_touch(&mut self, now: SimTime, node: usize, job: u32) {
+        if self.vn_active() {
+            self.nodes[node].lru.insert(job, now);
+        }
+    }
+
+    /// Request that `job`'s endpoint become resident on `node`. Idempotent;
+    /// queues behind an in-progress fault.
+    pub(crate) fn begin_fault(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        job: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        debug_assert!(self.vn_active());
+        let n = &mut self.nodes[node];
+        if n.nic.find_context(job).is_some() {
+            return;
+        }
+        if n.fault_in_progress == Some(job) || n.fault_queue.contains(&job) {
+            return;
+        }
+        if n.fault_in_progress.is_some() {
+            n.fault_queue.push_back(job);
+            return;
+        }
+        self.start_fault(now, node, job, sched);
+    }
+
+    fn start_fault(&mut self, now: SimTime, node: usize, job: u32, sched: &mut Scheduler<Event>) {
+        let n = &mut self.nodes[node];
+        n.fault_in_progress = Some(job);
+        n.faults += 1;
+        // Cost: fixed fault overhead + save of the victim (if eviction is
+        // needed) + restore of the faulted endpoint's saved queues.
+        let geo = self.cfg.fm.geometry();
+        let mut cost = FAULT_OVERHEAD;
+        let need_eviction = {
+            let free_slot = n.nic.resident_contexts().count() < self.cfg.fm.max_contexts;
+            let ram_fits = n.nic.send_ram_used() + geo.send_slots as u64 * n.nic.packet_bytes
+                <= n.nic.send_buf_bytes;
+            !(free_slot && ram_fits)
+        };
+        if need_eviction {
+            if let Some(victim) = self.vn_lru_victim(node) {
+                let ctx = self.nodes[node].nic.context(victim).unwrap();
+                let (s, r) = (ctx.send_q.len(), ctx.recv_q.len());
+                cost += switcher::save_cost(
+                    self.cfg.copy,
+                    &self.cfg.fm,
+                    &self.cfg.mem,
+                    &self.cfg.switch_costs,
+                    s,
+                    r,
+                );
+            }
+        }
+        if let Some(pid) = self.find_proc_by_job(node, job) {
+            if let Some(saved) = self.nodes[node].backing.peek(pid) {
+                let (s, r) = saved.occupancy();
+                cost += switcher::restore_cost(
+                    self.cfg.copy,
+                    &self.cfg.fm,
+                    &self.cfg.mem,
+                    &self.cfg.switch_costs,
+                    s,
+                    r,
+                );
+            }
+        }
+        self.trace.emit(now, Category::Nic, Some(node), || {
+            format!("endpoint fault for job {job}")
+        });
+        let r = self.nodes[node].cpu.reserve(now, cost);
+        sched.at(r.end, Event::FaultDone { node, job });
+    }
+
+    /// The LRU resident endpoint, excluding any that is currently the
+    /// fault target.
+    fn vn_lru_victim(&self, node: usize) -> Option<usize> {
+        let n = &self.nodes[node];
+        n.nic
+            .resident_contexts()
+            .min_by_key(|&c| {
+                let j = n.nic.context(c).unwrap().job;
+                n.lru.get(&j).copied().unwrap_or(SimTime::ZERO)
+            })
+    }
+
+    /// Fault service completed: evict if needed, install the endpoint,
+    /// deliver parked traffic, unblock waiters, start the next fault.
+    pub(crate) fn on_fault_done(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        job: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        debug_assert_eq!(self.nodes[node].fault_in_progress, Some(job));
+        let geo = self.cfg.fm.geometry();
+        // Evict until the endpoint fits.
+        loop {
+            let n = &mut self.nodes[node];
+            let free_slot = n.nic.resident_contexts().count() < self.cfg.fm.max_contexts;
+            let ram_fits = n.nic.send_ram_used() + geo.send_slots as u64 * n.nic.packet_bytes
+                <= n.nic.send_buf_bytes;
+            if free_slot && ram_fits {
+                break;
+            }
+            let victim = self
+                .vn_lru_victim(node)
+                .expect("no endpoint to evict but no room either");
+            let n = &mut self.nodes[node];
+            let mut ctx = n.nic.free_context(victim).unwrap();
+            let vjob = ctx.job;
+            let saved =
+                SavedCommState::new(vjob, ctx.send_q.drain_all(), ctx.recv_q.drain_all());
+            let bytes = saved.stored_bytes();
+            let vpid = self
+                .find_proc_by_job(node, vjob)
+                .expect("evicted endpoint's process is gone");
+            self.nodes[node].backing.save(vpid, saved, bytes);
+            self.trace.emit(now, Category::Nic, Some(node), || {
+                format!("evicted endpoint of job {vjob}")
+            });
+        }
+        // Install the faulted endpoint.
+        let pid = self.find_proc_by_job(node, job);
+        {
+            let n = &mut self.nodes[node];
+            let proc_rank = pid
+                .and_then(|p| n.apps.get(&p))
+                .map(|p| p.rank)
+                .unwrap_or(0);
+            let ctx_id = n
+                .nic
+                .alloc_context(job, proc_rank, geo.send_slots, geo.recv_slots)
+                .expect("room was just made");
+            if let Some(pid) = pid {
+                if let Some(saved) = n.backing.restore(pid) {
+                    assert_eq!(saved.job, job, "backing store mix-up at fault");
+                    let ctx = n.nic.context_mut(ctx_id).unwrap();
+                    ctx.send_q.load(saved.send_q);
+                    ctx.recv_q.load(saved.recv_q);
+                }
+            }
+        }
+        self.vn_touch(now, node, job);
+        self.nodes[node].fault_in_progress = None;
+
+        // Deliver parked packets for this endpoint, preserving arrival
+        // order.
+        let parked: Vec<_> = {
+            let n = &mut self.nodes[node];
+            let (mine, rest): (Vec<_>, Vec<_>) =
+                n.parked.drain(..).partition(|p| p.job == job);
+            n.parked = rest;
+            mine
+        };
+        for pkt in parked {
+            // Re-enters the normal landing path (engine cost was already
+            // paid on arrival; landing now is free of NIC time).
+            self.on_recv_engine_done(now, node, pkt, sched);
+        }
+
+        // Inject any fragment deferred by a mid-send eviction, then wake
+        // fault waiters.
+        if let Some(pid) = pid {
+            let deferred = self.nodes[node]
+                .apps
+                .get_mut(&pid)
+                .and_then(|p| p.deferred_pkt.take());
+            if let Some(pkt) = deferred {
+                let n = &mut self.nodes[node];
+                let ctx_id = n.nic.find_context(job).unwrap();
+                n.nic
+                    .context_mut(ctx_id)
+                    .unwrap()
+                    .send_q
+                    .push(pkt)
+                    .expect("fresh endpoint cannot be full");
+                self.kick_send_engine(now, node, sched);
+            }
+            let blocked = self.nodes[node]
+                .apps
+                .get(&pid)
+                .map(|p| p.blocked == Some(BlockReason::ContextFault))
+                .unwrap_or(false);
+            if blocked {
+                sched.immediately(Event::ProcKick { node, pid });
+            }
+        }
+        self.drain_pending_refills(now, node, sched);
+
+        // Serve the next queued fault.
+        if let Some(next) = self.nodes[node].fault_queue.pop_front() {
+            if self.nodes[node].nic.find_context(next).is_none() {
+                self.start_fault(now, node, next, sched);
+            }
+        }
+    }
+
+    /// An arrival found no resident endpoint under VN caching: park it and
+    /// raise a fault, or overflow into a drop-notify.
+    pub(crate) fn vn_park_arrival(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pkt: fastmsg::packet::Packet,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let job = pkt.job;
+        // Credits bound each endpoint's in-flight data to its receive-ring
+        // size, so per-endpoint parking of that size never overflows; the
+        // drop path below models the VN paper's return-to-sender for
+        // anything beyond it.
+        let cap = self.cfg.fm.geometry().recv_slots + PARKING_HEADROOM;
+        let n = &mut self.nodes[node];
+        let parked_for_job = n.parked.iter().filter(|p| p.job == job).count();
+        if parked_for_job >= cap {
+            n.nic.stats.dropped_no_context += 1;
+            self.stats.drops += 1;
+            let tx = self
+                .net
+                .transmit(now, node, pkt.src_host, CONTROL_PACKET_BYTES);
+            sched.at(
+                tx.arrival,
+                Event::FrameArrive {
+                    node: pkt.src_host,
+                    frame: Frame::DropNotify {
+                        job,
+                        src_host: pkt.src_host,
+                        drop_host: node,
+                    },
+                },
+            );
+            return;
+        }
+        n.parked.push(pkt);
+        self.begin_fault(now, node, job, sched);
+    }
+}

@@ -1,0 +1,296 @@
+//! The simulated cluster: all state plus the top-level event dispatcher.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fastmsg::packet::PACKET_BYTES;
+use lanai::nic::Nic;
+use myrinet::network::Network;
+use myrinet::topology::Topology;
+use parpar::control::ControlNet;
+use parpar::job::{JobId, JobSpec};
+use parpar::jobrep::JobRep;
+use parpar::masterd::{Masterd, Submitted};
+use parpar::matrix::PlaceError;
+use sim_core::engine::{Engine, Model, RunOutcome, Scheduler};
+use sim_core::rng::DetRng;
+use sim_core::time::{Cycles, SimTime};
+use sim_core::trace::Trace;
+use workloads::program::{Program, Workload};
+
+use crate::config::ClusterConfig;
+use crate::event::Event;
+use crate::node::NodeSim;
+use crate::stats::WorldStats;
+
+/// The full simulated ParPar system.
+pub struct World {
+    /// Configuration (immutable during a run).
+    pub cfg: ClusterConfig,
+    /// The Myrinet data network.
+    pub net: Network,
+    /// The control Ethernet.
+    pub ctrl: ControlNet,
+    /// The master daemon.
+    pub master: Masterd,
+    /// Compute nodes.
+    pub nodes: Vec<NodeSim>,
+    /// Trace ring.
+    pub trace: Trace,
+    /// Seeded RNG (daemon jitter).
+    pub rng: DetRng,
+    /// Measurements.
+    pub stats: WorldStats,
+    /// The job representative's submission queue.
+    pub jobrep: JobRep,
+    /// Programs awaiting their LoadJob, keyed by (job, rank).
+    pub(crate) pending_programs: BTreeMap<(JobId, usize), Box<dyn Program>>,
+    /// Programs of queued (not yet admitted) submissions, FIFO-aligned
+    /// with the jobrep queue.
+    pub(crate) queued_programs: VecDeque<Vec<Box<dyn Program>>>,
+}
+
+impl World {
+    /// Build an idle world from a configuration.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let topo = match cfg.topology {
+            crate::config::TopologyKind::SingleSwitch => Topology::single_switch(cfg.nodes),
+            crate::config::TopologyKind::DualSwitch { trunks } => {
+                Topology::dual_switch(cfg.nodes, trunks)
+            }
+        };
+        let nodes = (0..cfg.nodes)
+            .map(|id| {
+                let nic = Nic::new(
+                    id,
+                    cfg.nic_context_slots(),
+                    cfg.fm.send_region_bytes,
+                    PACKET_BYTES,
+                );
+                NodeSim::new(id, cfg.nodes - 1, nic)
+            })
+            .collect();
+        let trace = if cfg.trace_capacity > 0 {
+            Trace::enabled(cfg.trace_capacity)
+        } else {
+            Trace::disabled()
+        };
+        let mut w = World {
+            net: Network::new(topo),
+            ctrl: ControlNet::new(),
+            master: Masterd::new(cfg.nodes, cfg.slots),
+            nodes,
+            trace,
+            rng: DetRng::new(cfg.seed),
+            stats: WorldStats::default(),
+            jobrep: JobRep::new(),
+            pending_programs: BTreeMap::new(),
+            queued_programs: VecDeque::new(),
+            cfg,
+        };
+        // COMM_init_node on every noded startup (paper §3.2: "called when
+        // the noded is initialized, to load the control program").
+        for node in 0..w.cfg.nodes {
+            w.comm_init_node(SimTime::ZERO, node)
+                .expect("node initialization cannot fail at boot");
+        }
+        w
+    }
+
+    /// Register an admitted submission's programs and send its LoadJob
+    /// commands over the control network.
+    pub(crate) fn dispatch_submission(
+        &mut self,
+        now: SimTime,
+        sub: Submitted,
+        programs: Vec<Box<dyn Program>>,
+        sched: &mut sim_core::engine::Scheduler<Event>,
+    ) {
+        for (rank, program) in programs.into_iter().enumerate() {
+            self.pending_programs.insert((sub.job, rank), program);
+        }
+        for (node, cmd) in sub.cmds {
+            assert!(
+                self.nodes[node].in_service,
+                "job placed on out-of-service node {node}"
+            );
+            let t = self.ctrl.unicast_to_node(now);
+            sched.at(t, Event::CtrlToNode { node, cmd });
+        }
+    }
+
+    /// Have all submitted jobs finished?
+    pub fn all_jobs_finished(&self) -> bool {
+        self.master
+            .jobs()
+            .all(|(_, r)| r.state == parpar::job::JobState::Finished)
+    }
+}
+
+impl Model for World {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        match event {
+            Event::QuantumExpired => self.on_quantum_expired(now, sched),
+            Event::NodeTick { node } => self.on_node_tick(now, node, sched),
+            Event::CtrlToNode { node, cmd } => self.on_ctrl_to_node(now, node, cmd, sched),
+            Event::CtrlToMaster { msg } => self.on_ctrl_to_master(now, msg, sched),
+            Event::NodedAct { node, cmd } => self.on_noded_act(now, node, cmd, sched),
+            Event::FrameArrive { node, frame } => self.on_frame_arrive(now, node, frame, sched),
+            Event::SendEngineDone { node } => self.on_send_engine_done(now, node, sched),
+            Event::RecvEngineDone { node, pkt } => self.on_recv_engine_done(now, node, pkt, sched),
+            Event::HaltBroadcastDone { node } => self.on_halt_broadcast_done(now, node, sched),
+            Event::ReadyBroadcastDone { node } => self.on_ready_broadcast_done(now, node, sched),
+            Event::ProcKick { node, pid } => self.proc_kick(now, node, pid, sched),
+            Event::HostOpDone { node, pid, op } => self.on_host_op_done(now, node, pid, op, sched),
+            Event::CopyDone { node } => self.on_copy_done(now, node, sched),
+            Event::FaultDone { node, job } => self.on_fault_done(now, node, job, sched),
+        }
+    }
+}
+
+/// The simulation driver: an [`Engine`] over a [`World`] plus submission
+/// and run helpers.
+///
+/// ```
+/// use cluster::{ClusterConfig, Sim};
+/// use fastmsg::division::BufferPolicy;
+/// use sim_core::time::{Cycles, SimTime};
+/// use workloads::p2p::P2pBandwidth;
+///
+/// // A 4-node cluster under the paper's buffer-switching scheme.
+/// let mut cfg = ClusterConfig::parpar(4, 2, BufferPolicy::FullBuffer);
+/// cfg.quantum = Cycles::from_ms(50);
+/// let mut sim = Sim::new(cfg);
+///
+/// // Two bandwidth benchmarks gang-scheduled on the same node pair.
+/// let bench = P2pBandwidth::with_count(4096, 200);
+/// let job = sim.submit(&bench, Some(vec![0, 1])).unwrap();
+/// sim.submit(&bench, Some(vec![0, 1])).unwrap();
+///
+/// assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(10)));
+/// let bw = sim.world().stats.job_bandwidth_mbps(job, 4096 * 200).unwrap();
+/// assert!(bw > 10.0);
+/// assert_eq!(sim.world().stats.drops, 0);
+/// ```
+pub struct Sim {
+    /// The discrete-event engine; `engine.model` is the world.
+    pub engine: Engine<World>,
+}
+
+impl Sim {
+    /// A fresh simulation. If the configuration auto-rotates, the first
+    /// quantum timer is armed.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let auto = cfg.auto_rotate;
+        let gang = cfg.gang_scheduling;
+        let nodes = cfg.nodes;
+        let quantum = cfg.quantum;
+        if !gang {
+            assert_eq!(
+                cfg.fm.policy,
+                fastmsg::division::BufferPolicy::StaticDivision,
+                "uncoordinated scheduling cannot switch buffers: without gang \
+                 scheduling there is no moment when all communication partners \
+                 are dormant (paper §1)"
+            );
+        }
+        let mut engine = Engine::new(World::new(cfg));
+        engine.event_limit = 2_000_000_000;
+        if auto && gang {
+            engine.schedule_at(SimTime::ZERO + quantum, Event::QuantumExpired);
+        }
+        if auto && !gang {
+            // Each node's scheduler free-runs with its own phase: spread
+            // the first ticks across the quantum so nodes drift apart.
+            for node in 0..nodes {
+                let phase = Cycles(quantum.raw() * (node as u64 + 1) / (nodes as u64 + 1));
+                engine.schedule_at(SimTime::ZERO + quantum + phase, Event::NodeTick { node });
+            }
+        }
+        Sim { engine }
+    }
+
+    /// Shorthand for the world.
+    pub fn world(&self) -> &World {
+        &self.engine.model
+    }
+
+    /// Shorthand for the world, mutably.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.engine.model
+    }
+
+    /// Submit a workload (optionally pinned to exact nodes) through the
+    /// jobrep → masterd path; LoadJob commands go out on the control
+    /// network immediately. Fails if the job does not fit *right now*
+    /// (use [`Sim::submit_queued`] for wait-for-space semantics).
+    pub fn submit(
+        &mut self,
+        workload: &dyn Workload,
+        pinned: Option<Vec<usize>>,
+    ) -> Result<JobId, PlaceError> {
+        let spec = match pinned {
+            Some(nodes) => JobSpec::pinned(workload.name(), nodes),
+            None => JobSpec::sized(workload.name(), workload.nprocs()),
+        };
+        let now = self.engine.now();
+        let programs: Vec<Box<dyn Program>> =
+            (0..workload.nprocs()).map(|r| workload.program(r)).collect();
+        self.engine.drive(|w, sched| {
+            let sub = w.master.submit(spec)?;
+            let job = sub.job;
+            w.dispatch_submission(now, sub, programs, sched);
+            Ok(job)
+        })
+    }
+
+    /// Submit through the jobrep queue: if the gang matrix has no room the
+    /// job waits (FIFO) and is admitted automatically as earlier jobs
+    /// finish. Returns the JobId on immediate admission, `None` if queued.
+    pub fn submit_queued(
+        &mut self,
+        workload: &dyn Workload,
+        pinned: Option<Vec<usize>>,
+    ) -> Result<Option<JobId>, PlaceError> {
+        let spec = match pinned {
+            Some(nodes) => JobSpec::pinned(workload.name(), nodes),
+            None => JobSpec::sized(workload.name(), workload.nprocs()),
+        };
+        let now = self.engine.now();
+        let programs: Vec<Box<dyn Program>> =
+            (0..workload.nprocs()).map(|r| workload.program(r)).collect();
+        self.engine.drive(|w, sched| {
+            match w.jobrep.submit(&mut w.master, spec)? {
+                Some(sub) => {
+                    let job = sub.job;
+                    w.dispatch_submission(now, sub, programs, sched);
+                    Ok(Some(job))
+                }
+                None => {
+                    w.queued_programs.push_back(programs);
+                    Ok(None)
+                }
+            }
+        })
+    }
+
+    /// Run until `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.engine.run_until(horizon)
+    }
+
+    /// Run until every submitted job finished, or `horizon`.
+    /// Returns `true` if all jobs finished.
+    pub fn run_until_jobs_done(&mut self, horizon: SimTime) -> bool {
+        self.engine
+            .run_until_pred(horizon, |w| w.all_jobs_finished());
+        self.engine.model.all_jobs_finished()
+    }
+
+    /// Run for a duration from the current instant.
+    pub fn run_for(&mut self, d: Cycles) -> RunOutcome {
+        let t = self.engine.now() + d;
+        self.run_until(t)
+    }
+}

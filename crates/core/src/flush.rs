@@ -1,0 +1,168 @@
+//! The network-flush state machine (paper Fig. 3).
+//!
+//! Flushing is "composed of two independent things: one is the stopping of
+//! sending and the broadcast of the halt message, and the other is the
+//! collection of halt messages from all other nodes. The local halt can be
+//! interleaved with the collection of incoming halts in an arbitrary way."
+//!
+//! States are written `S,k` (still sending, k halts heard) and `H,k`
+//! (halted locally). The terminal state is `H,p` where `p` counts all
+//! nodes including this one — exactly the graph in Fig. 3.
+//!
+//! The release phase at the end of the switch uses "an identical protocol"
+//! (paper §3.2) with ready messages, so the same machine serves both; the
+//! [`BarrierKind`] tag only affects labels and traces.
+
+use std::fmt;
+
+/// Which protocol instance this machine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Halt collection (first phase of the switch).
+    Flush,
+    /// Ready collection (third phase).
+    Release,
+}
+
+/// The Fig. 3 state machine for one node.
+///
+/// ```
+/// use gang_comm::flush::{BarrierKind, FlushMachine};
+///
+/// let mut m = FlushMachine::new(BarrierKind::Flush, 2);
+/// assert_eq!(m.state_label(), "S,0");
+/// m.on_message();          // a peer halted before we did
+/// m.on_local();            // our halt broadcast finished
+/// assert_eq!(m.state_label(), "H,2");
+/// assert!(!m.complete());
+/// m.on_message();          // the last peer
+/// assert!(m.complete());   // H,p — the network is flushed
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlushMachine {
+    kind: BarrierKind,
+    peers: usize,
+    local_done: bool,
+    heard: usize,
+}
+
+impl FlushMachine {
+    /// A machine expecting messages from `peers` other nodes.
+    pub fn new(kind: BarrierKind, peers: usize) -> Self {
+        FlushMachine {
+            kind,
+            peers,
+            local_done: false,
+            heard: 0,
+        }
+    }
+
+    /// Which phase this machine serves.
+    pub fn kind(&self) -> BarrierKind {
+        self.kind
+    }
+
+    /// The "lh" transition: this node stopped sending and broadcast its
+    /// halt (or ready) message.
+    pub fn on_local(&mut self) {
+        assert!(!self.local_done, "duplicate local transition");
+        self.local_done = true;
+    }
+
+    /// The "ah" transition: a halt (or ready) message arrived from a peer.
+    pub fn on_message(&mut self) {
+        self.heard += 1;
+        assert!(
+            self.heard <= self.peers,
+            "more {:?} messages than peers",
+            self.kind
+        );
+    }
+
+    /// Has this node locally halted / readied?
+    pub fn local_done(&self) -> bool {
+        self.local_done
+    }
+
+    /// Peer messages heard so far.
+    pub fn heard(&self) -> usize {
+        self.heard
+    }
+
+    /// Terminal state `H,p`: network flushed (or all-ready).
+    pub fn complete(&self) -> bool {
+        self.local_done && self.heard == self.peers
+    }
+
+    /// The Fig. 3 state label, counting this node among the halted:
+    /// `S,k` before the local transition, `H,k+1` after.
+    pub fn state_label(&self) -> String {
+        if self.local_done {
+            format!("H,{}", self.heard + 1)
+        } else {
+            format!("S,{}", self.heard)
+        }
+    }
+}
+
+impl fmt::Display for FlushMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.state_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_then_messages() {
+        let mut m = FlushMachine::new(BarrierKind::Flush, 3);
+        assert_eq!(m.state_label(), "S,0");
+        m.on_local();
+        assert_eq!(m.state_label(), "H,1");
+        m.on_message();
+        m.on_message();
+        assert!(!m.complete());
+        m.on_message();
+        assert!(m.complete());
+        assert_eq!(m.state_label(), "H,4");
+    }
+
+    #[test]
+    fn messages_before_local_halt() {
+        // "a certain LANai may receive a halt message before it was
+        // notified by its noded" — the S,k column of Fig. 3.
+        let mut m = FlushMachine::new(BarrierKind::Release, 2);
+        m.on_message();
+        m.on_message();
+        assert_eq!(m.state_label(), "S,2");
+        assert!(!m.complete());
+        m.on_local();
+        assert!(m.complete());
+    }
+
+    #[test]
+    fn zero_peer_cluster_completes_on_local_alone() {
+        let mut m = FlushMachine::new(BarrierKind::Flush, 0);
+        assert!(!m.complete());
+        m.on_local();
+        assert!(m.complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "more")]
+    fn extra_message_panics() {
+        let mut m = FlushMachine::new(BarrierKind::Flush, 1);
+        m.on_message();
+        m.on_message();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate local")]
+    fn duplicate_local_panics() {
+        let mut m = FlushMachine::new(BarrierKind::Flush, 1);
+        m.on_local();
+        m.on_local();
+    }
+}

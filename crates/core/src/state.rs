@@ -1,0 +1,66 @@
+//! The communication state saved and restored by the buffer switch.
+//!
+//! "A context switch stores the contents of the communication buffers
+//! together with the process's regular context" (paper §1). Everything
+//! else the library needs — credit counters, sequence numbers — lives in
+//! the process's own pageable memory and needs no special handling.
+
+use fastmsg::packet::PACKET_BYTES;
+
+/// Saved queue contents for one descheduled process.
+#[derive(Debug, Clone)]
+pub struct SavedCommState<P> {
+    /// Job the state belongs to (cross-checked on restore).
+    pub job: u32,
+    /// Send-queue packets, FIFO order.
+    pub send_q: Vec<P>,
+    /// Receive-queue packets, FIFO order.
+    pub recv_q: Vec<P>,
+}
+
+impl<P> SavedCommState<P> {
+    /// Wrap drained queues.
+    pub fn new(job: u32, send_q: Vec<P>, recv_q: Vec<P>) -> Self {
+        SavedCommState { job, send_q, recv_q }
+    }
+
+    /// Empty state for a job that has not communicated yet.
+    pub fn empty(job: u32) -> Self {
+        SavedCommState {
+            job,
+            send_q: Vec::new(),
+            recv_q: Vec::new(),
+        }
+    }
+
+    /// Valid packets held (send, recv) — the Fig. 8 quantities.
+    pub fn occupancy(&self) -> (usize, usize) {
+        (self.send_q.len(), self.recv_q.len())
+    }
+
+    /// Pageable bytes this state occupies in the backing store (packet
+    /// slots are stored whole, as the implementation copies slots).
+    pub fn stored_bytes(&self) -> u64 {
+        (self.send_q.len() + self.recv_q.len()) as u64 * PACKET_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_and_bytes() {
+        let s = SavedCommState::new(3, vec![1, 2], vec![7, 8, 9]);
+        assert_eq!(s.occupancy(), (2, 3));
+        assert_eq!(s.stored_bytes(), 5 * PACKET_BYTES);
+    }
+
+    #[test]
+    fn empty_state() {
+        let s: SavedCommState<u8> = SavedCommState::empty(1);
+        assert_eq!(s.occupancy(), (0, 0));
+        assert_eq!(s.stored_bytes(), 0);
+        assert_eq!(s.job, 1);
+    }
+}

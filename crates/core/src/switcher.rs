@@ -1,0 +1,201 @@
+//! Buffer-switch cost model (paper §4.2, Figs. 4, 7, 9).
+//!
+//! Two algorithms:
+//!
+//! * **Full copy** — move the entire 400 KB send region and 1 MB receive
+//!   region each way. Dominated by reading the send queue back through the
+//!   write-combining window at ~14 MB/s; lands under the paper's
+//!   17 M-cycle / 85 ms bound.
+//! * **Valid-packets-only** — "go through the buffers and only copy the
+//!   valid packets": pay a per-slot scan, then copy only occupied slots.
+//!   Because the queues are usually nearly empty (Fig. 8), this is an
+//!   order of magnitude cheaper (Fig. 9, < 2.5 M cycles / 12.5 ms).
+
+use fastmsg::config::FmConfig;
+use fastmsg::packet::PACKET_BYTES;
+use sim_core::mem::{CopyCostModel, Region};
+use sim_core::time::Cycles;
+
+/// Which buffer-switch algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyStrategy {
+    /// Copy whole buffer regions.
+    Full,
+    /// Scan slot descriptors and copy only valid packets.
+    ValidOnly,
+}
+
+/// Fixed per-slot / per-packet costs of the improved algorithm.
+#[derive(Debug, Clone)]
+pub struct SwitchCosts {
+    /// Scanning one send-queue slot descriptor (a write-combining *read*,
+    /// hence expensive per byte).
+    pub scan_send_slot: Cycles,
+    /// Scanning one receive-queue slot descriptor (regular memory).
+    pub scan_recv_slot: Cycles,
+    /// Fixed bookkeeping per valid packet moved.
+    pub per_packet: Cycles,
+}
+
+impl Default for SwitchCosts {
+    fn default() -> Self {
+        SwitchCosts {
+            scan_send_slot: Cycles(130),
+            scan_recv_slot: Cycles(45),
+            per_packet: Cycles(50),
+        }
+    }
+}
+
+/// Cycle cost of **saving** the outgoing context's queues to backing
+/// store. `send_valid` / `recv_valid` are the occupied slot counts.
+pub fn save_cost(
+    strategy: CopyStrategy,
+    cfg: &FmConfig,
+    mem: &CopyCostModel,
+    costs: &SwitchCosts,
+    send_valid: usize,
+    recv_valid: usize,
+) -> Cycles {
+    let geo = cfg.geometry();
+    debug_assert!(send_valid <= geo.send_slots && recv_valid <= geo.recv_slots);
+    match strategy {
+        CopyStrategy::Full => {
+            // Whole regions regardless of occupancy.
+            mem.copy_cycles(
+                Region::NicWriteCombining,
+                Region::HostRegular,
+                cfg.send_q_bytes(),
+            ) + mem.copy_cycles(Region::HostPinned, Region::HostRegular, cfg.recv_q_bytes())
+        }
+        CopyStrategy::ValidOnly => {
+            let scan = costs.scan_send_slot * geo.send_slots as u64
+                + costs.scan_recv_slot * geo.recv_slots as u64;
+            let send_bytes = send_valid as u64 * PACKET_BYTES;
+            let recv_bytes = recv_valid as u64 * PACKET_BYTES;
+            scan + costs.per_packet * (send_valid + recv_valid) as u64
+                + mem.copy_cycles(Region::NicWriteCombining, Region::HostRegular, send_bytes)
+                + mem.copy_cycles(Region::HostPinned, Region::HostRegular, recv_bytes)
+        }
+    }
+}
+
+/// Cycle cost of **restoring** the incoming context's queues from backing
+/// store (no scan needed: the saved state knows its occupancy).
+pub fn restore_cost(
+    strategy: CopyStrategy,
+    cfg: &FmConfig,
+    mem: &CopyCostModel,
+    costs: &SwitchCosts,
+    send_valid: usize,
+    recv_valid: usize,
+) -> Cycles {
+    match strategy {
+        CopyStrategy::Full => {
+            mem.copy_cycles(
+                Region::HostRegular,
+                Region::NicWriteCombining,
+                cfg.send_q_bytes(),
+            ) + mem.copy_cycles(Region::HostRegular, Region::HostPinned, cfg.recv_q_bytes())
+        }
+        CopyStrategy::ValidOnly => {
+            let send_bytes = send_valid as u64 * PACKET_BYTES;
+            let recv_bytes = recv_valid as u64 * PACKET_BYTES;
+            costs.per_packet * (send_valid + recv_valid) as u64
+                + mem.copy_cycles(Region::HostRegular, Region::NicWriteCombining, send_bytes)
+                + mem.copy_cycles(Region::HostRegular, Region::HostPinned, recv_bytes)
+        }
+    }
+}
+
+/// Total buffer-switch cost: save the outgoing job's queues, restore the
+/// incoming job's.
+#[allow(clippy::too_many_arguments)]
+pub fn switch_cost(
+    strategy: CopyStrategy,
+    cfg: &FmConfig,
+    mem: &CopyCostModel,
+    costs: &SwitchCosts,
+    out_send: usize,
+    out_recv: usize,
+    in_send: usize,
+    in_recv: usize,
+) -> Cycles {
+    save_cost(strategy, cfg, mem, costs, out_send, out_recv)
+        + restore_cost(strategy, cfg, mem, costs, in_send, in_recv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmsg::division::BufferPolicy;
+
+    fn setup() -> (FmConfig, CopyCostModel, SwitchCosts) {
+        (
+            FmConfig::parpar(16, 2, BufferPolicy::FullBuffer),
+            CopyCostModel::parpar(),
+            SwitchCosts::default(),
+        )
+    }
+
+    #[test]
+    fn full_switch_within_paper_bound() {
+        let (cfg, mem, costs) = setup();
+        let total = switch_cost(CopyStrategy::Full, &cfg, &mem, &costs, 252, 668, 252, 668);
+        // Paper: "less than 85 msecs (17,000,000 cycles)".
+        assert!(total.raw() < 17_000_000, "{total:?}");
+        assert!(total.raw() > 12_000_000, "{total:?}");
+        // Occupancy is irrelevant to the full copy.
+        let empty = switch_cost(CopyStrategy::Full, &cfg, &mem, &costs, 0, 0, 0, 0);
+        assert_eq!(total, empty);
+    }
+
+    #[test]
+    fn improved_switch_within_paper_bound_at_observed_occupancy() {
+        let (cfg, mem, costs) = setup();
+        // Fig. 8's worst case: ~110 receive + ~20 send packets per side.
+        let total = switch_cost(CopyStrategy::ValidOnly, &cfg, &mem, &costs, 20, 110, 20, 110);
+        // Paper: "less than 12.5 msecs (2,500,000 cycles)".
+        assert!(total.raw() < 2_500_000, "{total:?}");
+    }
+
+    #[test]
+    fn improved_switch_grows_linearly_with_occupancy() {
+        let (cfg, mem, costs) = setup();
+        let c0 = save_cost(CopyStrategy::ValidOnly, &cfg, &mem, &costs, 0, 0);
+        let c50 = save_cost(CopyStrategy::ValidOnly, &cfg, &mem, &costs, 0, 50);
+        let c100 = save_cost(CopyStrategy::ValidOnly, &cfg, &mem, &costs, 0, 100);
+        let d1 = c50.raw() - c0.raw();
+        let d2 = c100.raw() - c50.raw();
+        // Equal increments (up to the per-copy setup constant).
+        assert!((d1 as i64 - d2 as i64).unsigned_abs() < 1000, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn improved_beats_full_by_an_order_of_magnitude_when_nearly_empty() {
+        let (cfg, mem, costs) = setup();
+        let full = switch_cost(CopyStrategy::Full, &cfg, &mem, &costs, 5, 20, 5, 20);
+        let valid = switch_cost(CopyStrategy::ValidOnly, &cfg, &mem, &costs, 5, 20, 5, 20);
+        assert!(full.raw() > 8 * valid.raw(), "{full:?} vs {valid:?}");
+    }
+
+    #[test]
+    fn saving_send_queue_costs_more_than_restoring_it() {
+        // WC read (14 MB/s) vs host-read-bound WC write (45 MB/s).
+        let (cfg, mem, costs) = setup();
+        let save = save_cost(CopyStrategy::ValidOnly, &cfg, &mem, &costs, 100, 0);
+        let restore = restore_cost(CopyStrategy::ValidOnly, &cfg, &mem, &costs, 100, 0);
+        assert!(save > restore);
+    }
+
+    #[test]
+    fn static_division_geometry_shrinks_full_copy() {
+        let mem = CopyCostModel::parpar();
+        let costs = SwitchCosts::default();
+        let cfg1 = FmConfig::parpar(16, 1, BufferPolicy::StaticDivision);
+        let cfg4 = FmConfig::parpar(16, 4, BufferPolicy::StaticDivision);
+        let c1 = save_cost(CopyStrategy::Full, &cfg1, &mem, &costs, 0, 0);
+        let c4 = save_cost(CopyStrategy::Full, &cfg4, &mem, &costs, 0, 0);
+        assert!(c4.raw() * 3 < c1.raw());
+    }
+}

@@ -1,0 +1,111 @@
+//! FM build-time configuration: buffer sizes, context counts, policy.
+
+use crate::division::{BufferPolicy, ContextGeometry, CreditRounding};
+use crate::packet::PACKET_BYTES;
+
+/// Configuration of the FM installation on a cluster.
+#[derive(Debug, Clone)]
+pub struct FmConfig {
+    /// Hosts on the data network (`p`). ParPar: 16.
+    pub hosts: usize,
+    /// Maximum communication contexts per host (`n`) — equals the gang
+    /// matrix depth when integrated with ParPar (paper §4.1).
+    pub max_contexts: usize,
+    /// Whole send buffer in packet slots (NIC RAM). ParPar: 252 (~400 KB).
+    pub send_slots_total: usize,
+    /// Whole receive buffer in packet slots (pinned DMA). ParPar: 668 (1 MB).
+    pub recv_slots_total: usize,
+    /// Nominal send-buffer region size in bytes, used by the *full* buffer
+    /// switch which copies the region wholesale. ParPar: 400 KB.
+    pub send_region_bytes: u64,
+    /// Nominal receive-buffer region size in bytes. ParPar: 1 MB.
+    pub recv_region_bytes: u64,
+    /// Buffer-division policy.
+    pub policy: BufferPolicy,
+    /// Credit rounding mode.
+    pub rounding: CreditRounding,
+}
+
+impl FmConfig {
+    /// The ParPar configuration from the paper, parameterized by host count,
+    /// context count and policy.
+    pub fn parpar(hosts: usize, max_contexts: usize, policy: BufferPolicy) -> Self {
+        FmConfig {
+            hosts,
+            max_contexts,
+            send_slots_total: 252,
+            recv_slots_total: 668,
+            send_region_bytes: 400 * 1024,
+            recv_region_bytes: 1024 * 1024,
+            policy,
+            rounding: CreditRounding::Floor,
+        }
+    }
+
+    /// Per-context queue geometry and credits under this configuration.
+    pub fn geometry(&self) -> ContextGeometry {
+        self.policy.geometry(
+            self.send_slots_total,
+            self.recv_slots_total,
+            self.max_contexts,
+            self.hosts,
+            self.rounding,
+        )
+    }
+
+    /// NIC contexts that must be resident simultaneously: all of them under
+    /// static division, one under the buffer-switching scheme, up to the
+    /// cache size under virtual-networks endpoint caching.
+    pub fn resident_contexts(&self) -> usize {
+        match self.policy {
+            BufferPolicy::StaticDivision | BufferPolicy::CachedEndpoints => self.max_contexts,
+            BufferPolicy::FullBuffer => 1,
+        }
+    }
+
+    /// Bytes of NIC send RAM one context's queue occupies.
+    pub fn send_q_bytes(&self) -> u64 {
+        self.geometry().send_slots as u64 * PACKET_BYTES
+    }
+
+    /// Bytes of pinned host RAM one context's receive queue occupies.
+    pub fn recv_q_bytes(&self) -> u64 {
+        self.geometry().recv_slots as u64 * PACKET_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parpar_defaults_match_paper() {
+        let c = FmConfig::parpar(16, 1, BufferPolicy::StaticDivision);
+        assert_eq!(c.send_slots_total, 252);
+        assert_eq!(c.recv_slots_total, 668);
+        assert_eq!(c.send_region_bytes, 400 * 1024);
+        assert_eq!(c.recv_region_bytes, 1 << 20);
+        assert_eq!(c.geometry().credits, 41);
+    }
+
+    #[test]
+    fn resident_context_counts() {
+        assert_eq!(
+            FmConfig::parpar(16, 8, BufferPolicy::StaticDivision).resident_contexts(),
+            8
+        );
+        assert_eq!(
+            FmConfig::parpar(16, 8, BufferPolicy::FullBuffer).resident_contexts(),
+            1
+        );
+    }
+
+    #[test]
+    fn queue_byte_sizes_scale_with_division() {
+        let one = FmConfig::parpar(16, 1, BufferPolicy::StaticDivision);
+        let four = FmConfig::parpar(16, 4, BufferPolicy::StaticDivision);
+        assert_eq!(four.send_q_bytes() * 4, one.send_q_bytes());
+        let full = FmConfig::parpar(16, 4, BufferPolicy::FullBuffer);
+        assert_eq!(full.send_q_bytes(), one.send_q_bytes());
+    }
+}

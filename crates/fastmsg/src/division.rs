@@ -1,0 +1,208 @@
+//! Buffer-division policies and the credit formula.
+//!
+//! The crux of the paper. Stock FM divides both queues statically among the
+//! maximum number of contexts (paper Fig. 1), so with `n` contexts on each
+//! of `p` hosts the initial credit count is
+//!
+//! ```text
+//! C0 = B'r / (n·p)      B'r = Br / n      ⇒      C0 = Br / (n²·p)
+//! ```
+//!
+//! — an inverse-*square* dependence on `n` that kills bandwidth (Fig. 5).
+//! Under gang scheduling the buffer switch makes the whole buffer available
+//! to the running process and only `p` processes can ever send to it, so
+//!
+//! ```text
+//! C0 = Br / p
+//! ```
+//!
+//! — a factor `n²` more credits from the same NIC memory (paper §3.3).
+
+/// How the fractional credit formula is rounded to whole packets.
+///
+/// With the paper's constants (`Br` = 668, `p` = 16) the static-division
+/// formula crosses 1.0 between n = 6 and n = 7: `Floor` kills communication
+/// at 7 contexts, `Round`/`Ceil` keep a single credit alive longer. The
+/// paper reports the cutoff at 8 contexts; see EXPERIMENTS.md for the
+/// discussion of this one-off discrepancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CreditRounding {
+    /// Truncate (the conservative reading of the formula).
+    #[default]
+    Floor,
+    /// Round to nearest.
+    Round,
+    /// Round up (never below 1 while the buffer holds any packet).
+    Ceil,
+}
+
+impl CreditRounding {
+    fn apply(self, v: f64) -> usize {
+        match self {
+            CreditRounding::Floor => v.floor() as usize,
+            CreditRounding::Round => v.round() as usize,
+            CreditRounding::Ceil => v.ceil() as usize,
+        }
+    }
+}
+
+/// How queue space is assigned to contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPolicy {
+    /// Stock FM: divide each buffer equally among the configured maximum
+    /// number of contexts (paper §2.2, Fig. 1).
+    StaticDivision,
+    /// The paper's scheme: the running process gets the whole buffer; the
+    /// gang scheduler swaps contents at context-switch time.
+    FullBuffer,
+    /// Virtual-networks style (paper §5, Chun/Mainwaring/Culler): the NIC
+    /// caches up to `max_contexts` endpoints, each a 1/k share of the
+    /// buffers; inactive endpoints live in host backing store and fault in
+    /// on demand — no linkage to process scheduling. Credits assume only
+    /// the co-scheduled job's `p` peers send (as under gang rotation).
+    CachedEndpoints,
+}
+
+/// The queue geometry and credit allowance for one context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextGeometry {
+    /// Send-queue slots on the NIC.
+    pub send_slots: usize,
+    /// Receive-queue slots in the pinned host buffer.
+    pub recv_slots: usize,
+    /// Initial (= maximal) credits toward each peer host, `C0`.
+    pub credits: usize,
+}
+
+impl BufferPolicy {
+    /// Compute the per-context geometry.
+    ///
+    /// ```
+    /// use fastmsg::division::{BufferPolicy, CreditRounding};
+    ///
+    /// // ParPar constants: 252-slot send queue, 668-slot receive queue,
+    /// // 16 processors, 4 contexts per host.
+    /// let stock = BufferPolicy::StaticDivision
+    ///     .geometry(252, 668, 4, 16, CreditRounding::Floor);
+    /// let paper = BufferPolicy::FullBuffer
+    ///     .geometry(252, 668, 4, 16, CreditRounding::Floor);
+    /// assert_eq!(stock.credits, 2);  // Br/(n²·p) = 668/(16·16)
+    /// assert_eq!(paper.credits, 41); // Br/p      = 668/16
+    /// ```
+    ///
+    /// * `send_total`, `recv_total` — whole-buffer slot counts (252 / 668
+    ///   on ParPar);
+    /// * `contexts` — configured maximum contexts per host (`n`);
+    /// * `hosts` — processors in the system (`p`);
+    /// * `rounding` — how to turn the fractional credit formula into
+    ///   packets.
+    pub fn geometry(
+        self,
+        send_total: usize,
+        recv_total: usize,
+        contexts: usize,
+        hosts: usize,
+        rounding: CreditRounding,
+    ) -> ContextGeometry {
+        assert!(contexts >= 1 && hosts >= 1);
+        match self {
+            BufferPolicy::StaticDivision => {
+                let send_slots = send_total / contexts;
+                let recv_slots = recv_total / contexts;
+                // Worst case: all n·p processes in the system may send to
+                // this process (paper §2.2).
+                let senders = (contexts * hosts) as f64;
+                let credits = rounding.apply(recv_slots as f64 / senders);
+                ContextGeometry {
+                    send_slots,
+                    recv_slots,
+                    credits,
+                }
+            }
+            BufferPolicy::FullBuffer => {
+                // Only the p processes of the running job can send
+                // (paper §3.3): C0 = Br / p.
+                let credits = rounding.apply(recv_total as f64 / hosts as f64);
+                ContextGeometry {
+                    send_slots: send_total,
+                    recv_slots: recv_total,
+                    credits,
+                }
+            }
+            BufferPolicy::CachedEndpoints => {
+                let send_slots = send_total / contexts;
+                let recv_slots = recv_total / contexts;
+                let credits = rounding.apply(recv_slots as f64 / hosts as f64);
+                ContextGeometry {
+                    send_slots,
+                    recv_slots,
+                    credits,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEND: usize = 252;
+    const RECV: usize = 668;
+    const P: usize = 16;
+
+    #[test]
+    fn paper_credit_table_static_division() {
+        // C0 = 668 / (n^2 * 16), floored — the collapse of Fig. 5.
+        let expect = [(1, 41), (2, 10), (3, 4), (4, 2), (5, 1), (6, 1), (7, 0), (8, 0)];
+        for (n, c) in expect {
+            let g = BufferPolicy::StaticDivision.geometry(SEND, RECV, n, P, CreditRounding::Floor);
+            assert_eq!(g.credits, c, "n={n}");
+            assert_eq!(g.send_slots, SEND / n);
+            assert_eq!(g.recv_slots, RECV / n);
+        }
+    }
+
+    #[test]
+    fn full_buffer_credits_are_independent_of_contexts() {
+        for n in 1..=8 {
+            let g = BufferPolicy::FullBuffer.geometry(SEND, RECV, n, P, CreditRounding::Floor);
+            assert_eq!(g.credits, RECV / P); // 41
+            assert_eq!(g.send_slots, SEND);
+            assert_eq!(g.recv_slots, RECV);
+        }
+    }
+
+    #[test]
+    fn n_squared_improvement() {
+        // The paper's headline: the scheme wins a factor n² in credits.
+        for n in 2..=6usize {
+            let old =
+                BufferPolicy::StaticDivision.geometry(SEND, RECV, n, P, CreditRounding::Floor);
+            let new = BufferPolicy::FullBuffer.geometry(SEND, RECV, n, P, CreditRounding::Floor);
+            // Allow rounding slack: compare against the exact formula.
+            let exact_old = RECV as f64 / (n * n * P) as f64;
+            let exact_new = RECV as f64 / P as f64;
+            assert!((exact_new / exact_old - (n * n) as f64).abs() < 1e-9);
+            assert!(new.credits >= old.credits * n * n);
+        }
+    }
+
+    #[test]
+    fn rounding_modes_differ_at_the_cutoff() {
+        let n = 7;
+        let floor = BufferPolicy::StaticDivision.geometry(SEND, RECV, n, P, CreditRounding::Floor);
+        let round = BufferPolicy::StaticDivision.geometry(SEND, RECV, n, P, CreditRounding::Round);
+        let ceil = BufferPolicy::StaticDivision.geometry(SEND, RECV, n, P, CreditRounding::Ceil);
+        assert_eq!(floor.credits, 0);
+        assert_eq!(round.credits, 1); // 95/112 = 0.848 → 1
+        assert_eq!(ceil.credits, 1);
+    }
+
+    #[test]
+    fn single_context_single_host_degenerate() {
+        let g = BufferPolicy::StaticDivision.geometry(SEND, RECV, 1, 1, CreditRounding::Floor);
+        assert_eq!(g.send_slots, SEND);
+        assert_eq!(g.credits, RECV);
+    }
+}

@@ -1,0 +1,239 @@
+//! Credit-based flow control (paper §2.2).
+//!
+//! Each process keeps two counters per peer host: how many packets it may
+//! still send there (`send_credits`), and how many packets from there it
+//! has consumed since the last refill it returned (`consumed`). A refill is
+//! returned either piggybacked on a data packet to that peer, or as a
+//! dedicated refill message once the peer's remaining credits fall below
+//! the low-water mark.
+//!
+//! FM has no retransmission: "a single packet loss can mess up the credit
+//! counters and the entire flow control algorithm". The accounting here is
+//! asserted tight — credits never exceed `C0`, never go negative — and the
+//! integration tests use those assertions to prove the buffer-switch
+//! protocol loses no packets.
+
+/// Per-peer credit accounting for one process.
+///
+/// ```
+/// use fastmsg::flow::FlowControl;
+///
+/// // Host 0 among 2 hosts, C0 = 4 credits toward each peer.
+/// let mut sender = FlowControl::new(0, 2, 4);
+/// let mut receiver = FlowControl::new(1, 2, 4);
+/// assert!(sender.consume(1)); // one packet to host 1
+/// assert!(sender.consume(1));
+/// // Receiver consumes both; the second crosses the low-water mark and
+/// // returns the credits.
+/// assert_eq!(receiver.on_packet_consumed(0), None);
+/// let refill = receiver.on_packet_consumed(0).unwrap();
+/// sender.refill(1, refill);
+/// assert_eq!(sender.credits(1), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowControl {
+    c0: usize,
+    low_water: usize,
+    /// Remaining credits toward each peer host (None = self).
+    send_credits: Vec<Option<usize>>,
+    /// Packets consumed from each peer since the last refill returned.
+    consumed: Vec<usize>,
+    /// Lifetime counters.
+    pub stats: FlowStats,
+}
+
+/// Flow-control event counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowStats {
+    /// Send credits consumed.
+    pub credits_used: u64,
+    /// Credits received back (piggybacked + dedicated).
+    pub credits_refilled: u64,
+    /// Dedicated refill messages triggered.
+    pub refill_msgs: u64,
+    /// Times a send had to wait for credits.
+    pub credit_stalls: u64,
+}
+
+impl FlowControl {
+    /// Flow control for a process on host `me` among `hosts`, with initial
+    /// (= maximal) credit `c0` toward every peer.
+    ///
+    /// The low-water mark is `c0 / 2` remaining credits (at least one
+    /// consumed packet triggers a refill when `c0 == 1`).
+    pub fn new(me: usize, hosts: usize, c0: usize) -> Self {
+        let send_credits = (0..hosts)
+            .map(|h| if h == me { None } else { Some(c0) })
+            .collect();
+        FlowControl {
+            c0,
+            low_water: c0 / 2,
+            send_credits,
+            consumed: vec![0; hosts],
+            stats: FlowStats::default(),
+        }
+    }
+
+    /// The initial/maximal credit count `C0`.
+    pub fn c0(&self) -> usize {
+        self.c0
+    }
+
+    /// Remaining credits toward `peer`.
+    pub fn credits(&self, peer: usize) -> usize {
+        self.send_credits[peer].expect("no credits toward self")
+    }
+
+    /// Can we send one packet to `peer` right now?
+    pub fn can_send(&self, peer: usize) -> bool {
+        self.credits(peer) > 0
+    }
+
+    /// Consume one credit toward `peer`. Returns `false` (and counts a
+    /// stall) if none remain.
+    pub fn consume(&mut self, peer: usize) -> bool {
+        let c = self.send_credits[peer].as_mut().expect("self");
+        if *c == 0 {
+            self.stats.credit_stalls += 1;
+            return false;
+        }
+        *c -= 1;
+        self.stats.credits_used += 1;
+        true
+    }
+
+    /// Add `k` credits returned by `peer`. Panics if accounting would
+    /// exceed `C0` — that means a duplicated refill, a protocol bug.
+    pub fn refill(&mut self, peer: usize, k: usize) {
+        if k == 0 {
+            return;
+        }
+        let c = self.send_credits[peer].as_mut().expect("self");
+        *c += k;
+        assert!(
+            *c <= self.c0,
+            "credits toward {peer} exceed C0 ({} > {})",
+            *c,
+            self.c0
+        );
+        self.stats.credits_refilled += k as u64;
+    }
+
+    /// Record consumption of one packet that arrived from `peer`.
+    ///
+    /// Returns `Some(credits_to_return)` when the peer is now below the
+    /// low-water mark and a *dedicated* refill message should be sent; the
+    /// returned count is the consumed total, which this call resets.
+    pub fn on_packet_consumed(&mut self, peer: usize) -> Option<usize> {
+        self.consumed[peer] += 1;
+        // We know the peer started from C0 toward us; its remaining credits
+        // are C0 - consumed (unacknowledged).
+        let remaining = self.c0 - self.consumed[peer].min(self.c0);
+        if remaining <= self.low_water {
+            let k = std::mem::take(&mut self.consumed[peer]);
+            self.stats.refill_msgs += 1;
+            Some(k)
+        } else {
+            None
+        }
+    }
+
+    /// Take the consumed count for `peer` to piggyback on a data packet
+    /// headed there (resets the counter; returns 0 if nothing to return).
+    pub fn take_piggyback(&mut self, peer: usize) -> usize {
+        std::mem::take(&mut self.consumed[peer])
+    }
+
+    /// Outstanding consumed-but-unreturned counts (for save/restore: the
+    /// buffer switch must preserve these or credits leak).
+    pub fn consumed_counters(&self) -> &[usize] {
+        &self.consumed
+    }
+
+    /// Sum of credits currently held plus in-flight-consumed — used by
+    /// conservation property tests.
+    pub fn held_credits_total(&self) -> usize {
+        self.send_credits.iter().flatten().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consume_until_exhausted() {
+        let mut f = FlowControl::new(0, 2, 3);
+        assert_eq!(f.credits(1), 3);
+        assert!(f.consume(1));
+        assert!(f.consume(1));
+        assert!(f.consume(1));
+        assert!(!f.can_send(1));
+        assert!(!f.consume(1));
+        assert_eq!(f.stats.credit_stalls, 1);
+        assert_eq!(f.stats.credits_used, 3);
+    }
+
+    #[test]
+    fn refill_restores_up_to_c0() {
+        let mut f = FlowControl::new(0, 2, 5);
+        for _ in 0..4 {
+            f.consume(1);
+        }
+        f.refill(1, 4);
+        assert_eq!(f.credits(1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed C0")]
+    fn over_refill_panics() {
+        let mut f = FlowControl::new(0, 2, 5);
+        f.refill(1, 1);
+    }
+
+    #[test]
+    fn low_water_triggers_dedicated_refill() {
+        // C0 = 4, low_water = 2: refill due when remaining <= 2, i.e. after
+        // the 2nd consumed packet.
+        let mut f = FlowControl::new(1, 3, 4);
+        assert_eq!(f.on_packet_consumed(0), None);
+        assert_eq!(f.on_packet_consumed(0), Some(2));
+        // Counter reset: the cycle repeats.
+        assert_eq!(f.on_packet_consumed(0), None);
+        assert_eq!(f.on_packet_consumed(0), Some(2));
+        assert_eq!(f.stats.refill_msgs, 2);
+    }
+
+    #[test]
+    fn single_credit_refills_every_packet() {
+        let mut f = FlowControl::new(1, 2, 1);
+        assert_eq!(f.on_packet_consumed(0), Some(1));
+        assert_eq!(f.on_packet_consumed(0), Some(1));
+    }
+
+    #[test]
+    fn piggyback_resets_consumed() {
+        let mut f = FlowControl::new(0, 2, 10);
+        f.on_packet_consumed(1);
+        f.on_packet_consumed(1);
+        assert_eq!(f.take_piggyback(1), 2);
+        assert_eq!(f.take_piggyback(1), 0);
+    }
+
+    #[test]
+    fn per_peer_counters_are_independent() {
+        let mut f = FlowControl::new(0, 4, 2);
+        f.consume(1);
+        f.consume(1);
+        assert!(!f.can_send(1));
+        assert!(f.can_send(2));
+        assert!(f.can_send(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self")]
+    fn self_credits_panic() {
+        let f = FlowControl::new(2, 4, 2);
+        f.credits(2);
+    }
+}

@@ -1,0 +1,142 @@
+//! FM wire packets.
+//!
+//! FM fragments messages into fixed-size packets ("FM's packet size of 1560
+//! bytes", paper §4.2). Each packet carries enough identity for the LANai
+//! to route it to the right context (job, destination rank) and for the
+//! tests to verify loss-free FIFO delivery (per-stream sequence numbers).
+//! Credit refills travel either as dedicated refill packets or piggybacked
+//! on data packets (paper §2.2).
+
+/// Fixed wire slot size, bytes.
+pub const PACKET_BYTES: u64 = 1560;
+
+/// Header bytes per packet (identity + flow control).
+pub const HEADER_BYTES: u64 = 24;
+
+/// Maximum payload per packet.
+pub const MAX_PAYLOAD: u64 = PACKET_BYTES - HEADER_BYTES;
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Application payload.
+    Data,
+    /// A dedicated credit-refill message (consumed by the receiving NIC,
+    /// never queued, never credited).
+    Refill,
+}
+
+/// One FM packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Owning job (the LANai demultiplexes on this).
+    pub job: u32,
+    /// Source host on the data network.
+    pub src_host: usize,
+    /// Destination host on the data network.
+    pub dst_host: usize,
+    /// Sender's rank within the job.
+    pub src_rank: usize,
+    /// Receiver's rank within the job.
+    pub dst_rank: usize,
+    /// Per (src_rank → dst_rank) stream sequence number.
+    pub seq: u64,
+    /// Payload bytes in this packet.
+    pub payload: u32,
+    /// True on the final fragment of a message.
+    pub last_fragment: bool,
+    /// Data or refill.
+    pub kind: PacketKind,
+    /// Credits returned to the *receiver of this packet* for packets the
+    /// sender consumed from them (piggybacked refill, paper §2.2).
+    pub piggyback_credits: u32,
+}
+
+impl Packet {
+    /// Bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES + self.payload as u64
+    }
+}
+
+/// Number of packets a message of `bytes` fragments into (at least 1: FM
+/// sends zero-byte messages as a bare header).
+pub fn fragments_for(bytes: u64) -> u64 {
+    if bytes == 0 {
+        1
+    } else {
+        bytes.div_ceil(MAX_PAYLOAD)
+    }
+}
+
+/// Payload of fragment `idx` (0-based) of a message of `bytes`.
+pub fn fragment_payload(bytes: u64, idx: u64) -> u64 {
+    let n = fragments_for(bytes);
+    debug_assert!(idx < n);
+    if idx + 1 < n {
+        MAX_PAYLOAD
+    } else {
+        bytes - idx * MAX_PAYLOAD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_counts() {
+        assert_eq!(fragments_for(0), 1);
+        assert_eq!(fragments_for(1), 1);
+        assert_eq!(fragments_for(MAX_PAYLOAD), 1);
+        assert_eq!(fragments_for(MAX_PAYLOAD + 1), 2);
+        assert_eq!(fragments_for(64 * 1024), 43); // 65536 / 1536 = 42.67
+    }
+
+    #[test]
+    fn fragment_payloads_sum_to_message() {
+        for bytes in [0u64, 1, 100, 1536, 1537, 4096, 65536, 96 * 1024] {
+            let n = fragments_for(bytes);
+            let total: u64 = (0..n).map(|i| fragment_payload(bytes, i)).sum();
+            assert_eq!(total, bytes, "message of {bytes}");
+            // All but the last fragment are full.
+            for i in 0..n.saturating_sub(1) {
+                assert_eq!(fragment_payload(bytes, i), MAX_PAYLOAD);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let p = Packet {
+            job: 1,
+            src_host: 0,
+            dst_host: 1,
+            src_rank: 0,
+            dst_rank: 1,
+            seq: 0,
+            payload: 64,
+            last_fragment: true,
+            kind: PacketKind::Data,
+            piggyback_credits: 0,
+        };
+        assert_eq!(p.wire_bytes(), 88);
+    }
+
+    #[test]
+    fn full_packet_is_1560_bytes() {
+        let p = Packet {
+            job: 1,
+            src_host: 0,
+            dst_host: 1,
+            src_rank: 0,
+            dst_rank: 1,
+            seq: 0,
+            payload: MAX_PAYLOAD as u32,
+            last_fragment: false,
+            kind: PacketKind::Data,
+            piggyback_credits: 0,
+        };
+        assert_eq!(p.wire_bytes(), PACKET_BYTES);
+    }
+}

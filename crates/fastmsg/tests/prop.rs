@@ -1,0 +1,104 @@
+//! Property tests: credit conservation, fragmentation, and the buffer
+//! division formula.
+
+use fastmsg::division::{BufferPolicy, CreditRounding};
+use fastmsg::flow::FlowControl;
+use fastmsg::packet::{fragment_payload, fragments_for, MAX_PAYLOAD};
+use fastmsg::proc::FmProcess;
+use proptest::prelude::*;
+
+proptest! {
+    /// Credits are conserved between a sender/receiver pair under any
+    /// interleaving: consumed = refilled + (still-missing at the sender) +
+    /// (consumed-but-unreturned at the receiver).
+    #[test]
+    fn credit_conservation(c0 in 1usize..64, ops in proptest::collection::vec(any::<bool>(), 0..500)) {
+        // Host 0 sends to host 1.
+        let mut sender = FlowControl::new(0, 2, c0);
+        let mut receiver = FlowControl::new(1, 2, c0);
+        let mut in_flight = 0usize; // packets sent, not yet consumed
+        for consume_side in ops {
+            if consume_side {
+                // Sender emits a packet if it can.
+                if sender.consume(1) {
+                    in_flight += 1;
+                }
+            } else if in_flight > 0 {
+                // Receiver consumes one and may trigger a refill.
+                in_flight -= 1;
+                if let Some(k) = receiver.on_packet_consumed(0) {
+                    sender.refill(1, k);
+                }
+            }
+            let missing = c0 - sender.credits(1);
+            let unreturned = receiver.consumed_counters()[0];
+            prop_assert_eq!(missing, in_flight + unreturned,
+                "missing {} != in_flight {} + unreturned {}", missing, in_flight, unreturned);
+            prop_assert!(sender.credits(1) <= c0);
+        }
+    }
+
+    /// Fragmentation is exact: payloads sum to the message, only the last
+    /// fragment is partial, and the count is minimal.
+    #[test]
+    fn fragmentation_exact(bytes in 0u64..2_000_000) {
+        let n = fragments_for(bytes);
+        let total: u64 = (0..n).map(|i| fragment_payload(bytes, i)).sum();
+        prop_assert_eq!(total, bytes);
+        prop_assert!(n >= 1);
+        if bytes > 0 {
+            prop_assert!((n - 1) * MAX_PAYLOAD < bytes);
+        }
+        for i in 0..n {
+            let p = fragment_payload(bytes, i);
+            prop_assert!(p <= MAX_PAYLOAD);
+            if i + 1 < n {
+                prop_assert_eq!(p, MAX_PAYLOAD);
+            }
+        }
+    }
+
+    /// The credit formula: FullBuffer credits are independent of `n` and
+    /// at least n² / (1 + rounding slack) times the static ones; geometry
+    /// never exceeds the physical buffers.
+    #[test]
+    fn division_formula(n in 1usize..16, p in 1usize..64) {
+        let stat = BufferPolicy::StaticDivision.geometry(252, 668, n, p, CreditRounding::Floor);
+        let full = BufferPolicy::FullBuffer.geometry(252, 668, n, p, CreditRounding::Floor);
+        prop_assert!(stat.send_slots <= 252 && stat.recv_slots <= 668);
+        prop_assert_eq!(full.send_slots, 252);
+        prop_assert_eq!(full.recv_slots, 668);
+        prop_assert_eq!(full.credits, 668 / p);
+        // n * stat.send_slots never exceeds the buffer (no overcommit).
+        prop_assert!(n * stat.send_slots <= 252);
+        prop_assert!(n * stat.recv_slots <= 668);
+        // The full-buffer window dominates the divided one.
+        prop_assert!(full.credits >= stat.credits);
+        // Receive ring can hold the worst case the credits allow.
+        prop_assert!(stat.credits * n * p <= 668);
+    }
+
+    /// Messages through a pair of FmProcesses preserve FIFO and counts for
+    /// any message-size sequence.
+    #[test]
+    fn process_pair_message_accounting(sizes in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let placement = vec![0, 1];
+        let mut a = FmProcess::new(9, 0, placement.clone(), 2, 1_000_000);
+        let mut b = FmProcess::new(9, 1, placement, 2, 1_000_000);
+        let mut total_bytes = 0;
+        for &sz in &sizes {
+            let n = fragments_for(sz);
+            for i in 0..n {
+                let pkt = a.make_fragment(1, sz, i);
+                let r = b.on_extract(&pkt);
+                prop_assert_eq!(r.message_complete, i + 1 == n);
+            }
+            total_bytes += sz;
+        }
+        prop_assert_eq!(b.stats.msgs_received, sizes.len() as u64);
+        prop_assert_eq!(b.stats.bytes_received, total_bytes);
+        prop_assert_eq!(a.stats.msgs_sent, sizes.len() as u64);
+        prop_assert_eq!(a.stats.bytes_sent, total_bytes);
+        prop_assert_eq!(b.gaps, 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-process pageable backing store for communication state.
+//!
+//! The paper's key storage decision: "the communication state of other
+//! processes is stored temporarily in pageable buffers residing in each
+//! process's virtual memory" (§1). Unlike the pinned DMA buffer and the
+//! NIC RAM, this memory is ordinary pageable RAM — the OS keeps its memory-
+//! management flexibility, which is the motivation the SHARE scheduler
+//! cites too (§5).
+//!
+//! The store is generic over the saved-state type; the `gang-comm` crate
+//! instantiates it with its `SavedCommState`.
+
+use std::collections::BTreeMap;
+
+use crate::process::Pid;
+
+/// Pageable per-process save area.
+#[derive(Debug, Clone)]
+pub struct BackingStore<T> {
+    slots: BTreeMap<Pid, T>,
+    bytes_by_pid: BTreeMap<Pid, u64>,
+    saves: u64,
+    restores: u64,
+    high_water_bytes: u64,
+}
+
+impl<T> Default for BackingStore<T> {
+    fn default() -> Self {
+        BackingStore {
+            slots: BTreeMap::new(),
+            bytes_by_pid: BTreeMap::new(),
+            saves: 0,
+            restores: 0,
+            high_water_bytes: 0,
+        }
+    }
+}
+
+impl<T> BackingStore<T> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Save `state` (accounting `bytes` of pageable memory) for `pid`.
+    /// Overwrites any previous save; a process has at most one saved
+    /// communication context.
+    pub fn save(&mut self, pid: Pid, state: T, bytes: u64) {
+        self.slots.insert(pid, state);
+        self.bytes_by_pid.insert(pid, bytes);
+        self.saves += 1;
+        let total = self.total_bytes();
+        if total > self.high_water_bytes {
+            self.high_water_bytes = total;
+        }
+    }
+
+    /// Remove and return the saved state for `pid`, if any.
+    pub fn restore(&mut self, pid: Pid) -> Option<T> {
+        let st = self.slots.remove(&pid)?;
+        self.bytes_by_pid.remove(&pid);
+        self.restores += 1;
+        Some(st)
+    }
+
+    /// Peek at the saved state without removing it.
+    pub fn peek(&self, pid: Pid) -> Option<&T> {
+        self.slots.get(&pid)
+    }
+
+    /// Does `pid` have saved state?
+    pub fn contains(&self, pid: Pid) -> bool {
+        self.slots.contains_key(&pid)
+    }
+
+    /// Pageable bytes currently held.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_pid.values().sum()
+    }
+
+    /// Largest total ever held (for the memory-pressure report).
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water_bytes
+    }
+
+    /// Save/restore operation counts.
+    pub fn ops(&self) -> (u64, u64) {
+        (self.saves, self.restores)
+    }
+
+    /// Number of processes with saved state.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if nothing is saved.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_restore_round_trip() {
+        let mut bs: BackingStore<Vec<u32>> = BackingStore::new();
+        let pid = Pid(1);
+        bs.save(pid, vec![1, 2, 3], 12);
+        assert!(bs.contains(pid));
+        assert_eq!(bs.total_bytes(), 12);
+        assert_eq!(bs.restore(pid), Some(vec![1, 2, 3]));
+        assert!(!bs.contains(pid));
+        assert_eq!(bs.total_bytes(), 0);
+        assert_eq!(bs.ops(), (1, 1));
+    }
+
+    #[test]
+    fn restore_without_save_is_none() {
+        let mut bs: BackingStore<u8> = BackingStore::new();
+        assert_eq!(bs.restore(Pid(5)), None);
+        assert_eq!(bs.ops(), (0, 0));
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes_accounting() {
+        let mut bs: BackingStore<&str> = BackingStore::new();
+        bs.save(Pid(1), "a", 100);
+        bs.save(Pid(1), "b", 40);
+        assert_eq!(bs.total_bytes(), 40);
+        assert_eq!(bs.peek(Pid(1)), Some(&"b"));
+        assert_eq!(bs.len(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_across_processes() {
+        let mut bs: BackingStore<()> = BackingStore::new();
+        bs.save(Pid(1), (), 1_000_000);
+        bs.save(Pid(2), (), 400_000);
+        bs.restore(Pid(1));
+        assert_eq!(bs.total_bytes(), 400_000);
+        assert_eq!(bs.high_water_bytes(), 1_400_000);
+    }
+}

@@ -1,0 +1,100 @@
+//! The noded ↔ process synchronization pipe.
+//!
+//! Paper §3.2 / Fig. 2: the noded creates a pipe before forking; the
+//! process's `FM_initialize` blocks reading a single byte from it, and the
+//! noded writes that byte when the masterd reports that every process of
+//! the job is up. This gives the global synchronization point that prevents
+//! "the first node to come up \[from\] sending messages to other processes
+//! before they are ready".
+
+use std::collections::VecDeque;
+
+/// A one-way byte pipe with a (possibly) blocked reader.
+#[derive(Debug, Clone, Default)]
+pub struct Pipe {
+    buf: VecDeque<u8>,
+    reader_blocked: bool,
+}
+
+impl Pipe {
+    /// A fresh, empty pipe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write bytes into the pipe. Returns `true` if a blocked reader should
+    /// be woken.
+    pub fn write(&mut self, bytes: &[u8]) -> bool {
+        self.buf.extend(bytes.iter().copied());
+        if self.reader_blocked && !self.buf.is_empty() {
+            self.reader_blocked = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Try to read one byte. `Some(b)` on success; on `None` the reader is
+    /// recorded as blocked and must be woken by a future write.
+    pub fn read_byte(&mut self) -> Option<u8> {
+        match self.buf.pop_front() {
+            Some(b) => Some(b),
+            None => {
+                self.reader_blocked = true;
+                None
+            }
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is a reader currently blocked on this pipe?
+    pub fn reader_blocked(&self) -> bool {
+        self.reader_blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_write_succeeds() {
+        let mut p = Pipe::new();
+        assert!(!p.write(&[1]));
+        assert_eq!(p.read_byte(), Some(1));
+        assert_eq!(p.read_byte(), None);
+        assert!(p.reader_blocked());
+    }
+
+    #[test]
+    fn write_wakes_blocked_reader() {
+        let mut p = Pipe::new();
+        assert_eq!(p.read_byte(), None);
+        // The write reports that the reader needs waking.
+        assert!(p.write(&[7]));
+        assert!(!p.reader_blocked());
+        assert_eq!(p.read_byte(), Some(7));
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut p = Pipe::new();
+        p.write(&[1, 2, 3]);
+        assert_eq!(p.read_byte(), Some(1));
+        assert_eq!(p.read_byte(), Some(2));
+        assert_eq!(p.buffered(), 1);
+        assert_eq!(p.read_byte(), Some(3));
+    }
+
+    #[test]
+    fn empty_write_does_not_wake() {
+        let mut p = Pipe::new();
+        assert_eq!(p.read_byte(), None);
+        assert!(!p.write(&[]));
+        assert!(p.reader_blocked());
+    }
+}

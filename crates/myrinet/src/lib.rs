@@ -1,0 +1,20 @@
+//! # myrinet — simulated Myrinet system-area network
+//!
+//! Timing model of ParPar's data network (paper §2.1): 1.28 Gb/s links,
+//! crossbar switches, a single precomputed source route per host pair, and
+//! serial-loop broadcast for control packets. The model guarantees the two
+//! ordering properties the paper's flush protocol relies on: per-route FIFO
+//! delivery, and halt-after-data.
+//!
+//! This crate is *passive*: it answers "when would this packet arrive?";
+//! the `cluster` crate turns answers into discrete events.
+
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod network;
+pub mod topology;
+
+pub use broadcast::{serial_broadcast, CONTROL_PACKET_BYTES};
+pub use network::{LinkStats, Network, Transmit};
+pub use topology::{HostId, Link, LinkId, Port, Topology, HOP_LATENCY_CYCLES, MYRINET_BW};

@@ -1,0 +1,282 @@
+//! Cluster interconnect topology and source-route computation.
+//!
+//! ParPar's data network is a Myrinet SAN: hosts attach to crossbar
+//! switches, and FM uses a single precomputed route between each pair of
+//! hosts (paper §3.2 relies on this for the FIFO property of the flush
+//! protocol). The topology is a directed graph of [`Link`]s between
+//! [`Port`]s; routes are precomputed by breadth-first search and stay fixed
+//! for the life of the network.
+
+use std::collections::VecDeque;
+
+/// Identifies a host (compute node) on the data network.
+pub type HostId = usize;
+
+/// Index of a link in the topology's link table.
+pub type LinkId = usize;
+
+/// An endpoint of a link: either a host NIC or a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// A host's NIC port.
+    Host(HostId),
+    /// A switch, by index.
+    Switch(usize),
+}
+
+/// A unidirectional physical link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Transmitting side.
+    pub from: Port,
+    /// Receiving side.
+    pub to: Port,
+    /// Usable bandwidth in bytes/second.
+    pub bandwidth: u64,
+    /// Propagation + routing latency in cycles.
+    pub latency_cycles: u64,
+}
+
+/// A static interconnect description with precomputed per-pair routes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    hosts: usize,
+    switches: usize,
+    links: Vec<Link>,
+    /// `routes[src * hosts + dst]` = link ids from src to dst (empty on the
+    /// diagonal).
+    routes: Vec<Vec<LinkId>>,
+    /// Cut-through (wormhole) forwarding: a downstream link starts once
+    /// the header arrives instead of after the full packet (real Myrinet
+    /// behavior). Off by default — the calibrated reproduction uses
+    /// store-and-forward, whose extra per-hop latency is absorbed into
+    /// the hop-latency constant.
+    pub cut_through: bool,
+}
+
+/// Myrinet link rate used throughout the reproduction: 1.28 Gb/s =
+/// 160 MB/s (paper §2.1).
+pub const MYRINET_BW: u64 = 160_000_000;
+
+/// Per-hop switch/wire latency: ~0.5 µs (100 cycles at 200 MHz), typical for
+/// the era's cut-through crossbars.
+pub const HOP_LATENCY_CYCLES: u64 = 100;
+
+impl Topology {
+    /// Build a topology from explicit parts and precompute all routes.
+    ///
+    /// Panics if any host pair is unreachable.
+    pub fn from_parts(hosts: usize, switches: usize, links: Vec<Link>) -> Self {
+        let mut t = Topology {
+            hosts,
+            switches,
+            links,
+            routes: Vec::new(),
+            cut_through: false,
+        };
+        t.routes = t.compute_routes();
+        t
+    }
+
+    /// The ParPar configuration: `n` hosts on one crossbar switch.
+    pub fn single_switch(n: usize) -> Self {
+        Self::single_switch_custom(n, MYRINET_BW, HOP_LATENCY_CYCLES)
+    }
+
+    /// The single-crossbar topology with cut-through (wormhole)
+    /// forwarding enabled.
+    pub fn single_switch_cut_through(n: usize) -> Self {
+        let mut t = Self::single_switch(n);
+        t.cut_through = true;
+        t
+    }
+
+    /// Single crossbar with custom link bandwidth/latency.
+    pub fn single_switch_custom(n: usize, bandwidth: u64, latency_cycles: u64) -> Self {
+        let mut links = Vec::with_capacity(2 * n);
+        for h in 0..n {
+            links.push(Link {
+                from: Port::Host(h),
+                to: Port::Switch(0),
+                bandwidth,
+                latency_cycles,
+            });
+            links.push(Link {
+                from: Port::Switch(0),
+                to: Port::Host(h),
+                bandwidth,
+                latency_cycles,
+            });
+        }
+        Self::from_parts(n, 1, links)
+    }
+
+    /// Two crossbars joined by `trunks` parallel inter-switch links, hosts
+    /// split evenly. Used to exercise multi-hop routes in tests and the
+    /// extension benches.
+    pub fn dual_switch(n: usize, trunks: usize) -> Self {
+        assert!(n >= 2 && trunks >= 1);
+        let half = n / 2;
+        let mut links = Vec::new();
+        for h in 0..n {
+            let sw = if h < half { 0 } else { 1 };
+            links.push(Link {
+                from: Port::Host(h),
+                to: Port::Switch(sw),
+                bandwidth: MYRINET_BW,
+                latency_cycles: HOP_LATENCY_CYCLES,
+            });
+            links.push(Link {
+                from: Port::Switch(sw),
+                to: Port::Host(h),
+                bandwidth: MYRINET_BW,
+                latency_cycles: HOP_LATENCY_CYCLES,
+            });
+        }
+        for _ in 0..trunks {
+            links.push(Link {
+                from: Port::Switch(0),
+                to: Port::Switch(1),
+                bandwidth: MYRINET_BW,
+                latency_cycles: HOP_LATENCY_CYCLES,
+            });
+            links.push(Link {
+                from: Port::Switch(1),
+                to: Port::Switch(0),
+                bandwidth: MYRINET_BW,
+                latency_cycles: HOP_LATENCY_CYCLES,
+            });
+        }
+        Self::from_parts(n, 2, links)
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Number of switches.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The precomputed route from `src` to `dst` as a sequence of link ids.
+    /// Empty iff `src == dst`.
+    pub fn route(&self, src: HostId, dst: HostId) -> &[LinkId] {
+        &self.routes[src * self.hosts + dst]
+    }
+
+    fn port_index(&self, p: Port) -> usize {
+        match p {
+            Port::Host(h) => h,
+            Port::Switch(s) => self.hosts + s,
+        }
+    }
+
+    fn compute_routes(&self) -> Vec<Vec<LinkId>> {
+        let nports = self.hosts + self.switches;
+        // adjacency: outgoing link ids per port
+        let mut adj: Vec<Vec<LinkId>> = vec![Vec::new(); nports];
+        for (i, l) in self.links.iter().enumerate() {
+            adj[self.port_index(l.from)].push(i);
+        }
+        let mut routes = Vec::with_capacity(self.hosts * self.hosts);
+        for src in 0..self.hosts {
+            // BFS from src over ports; remember the in-link per port.
+            let mut in_link: Vec<Option<LinkId>> = vec![None; nports];
+            let mut seen = vec![false; nports];
+            let s = self.port_index(Port::Host(src));
+            seen[s] = true;
+            let mut q = VecDeque::from([s]);
+            while let Some(p) = q.pop_front() {
+                for &lid in &adj[p] {
+                    let np = self.port_index(self.links[lid].to);
+                    if !seen[np] {
+                        seen[np] = true;
+                        in_link[np] = Some(lid);
+                        q.push_back(np);
+                    }
+                }
+            }
+            for dst in 0..self.hosts {
+                if dst == src {
+                    routes.push(Vec::new());
+                    continue;
+                }
+                let mut path = Vec::new();
+                let mut p = self.port_index(Port::Host(dst));
+                while p != s {
+                    let lid = in_link[p].unwrap_or_else(|| {
+                        panic!("host {dst} unreachable from host {src}")
+                    });
+                    path.push(lid);
+                    p = self.port_index(self.links[lid].from);
+                }
+                path.reverse();
+                routes.push(path);
+            }
+        }
+        routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_routes_are_two_hops() {
+        let t = Topology::single_switch(16);
+        assert_eq!(t.hosts(), 16);
+        for s in 0..16 {
+            for d in 0..16 {
+                let r = t.route(s, d);
+                if s == d {
+                    assert!(r.is_empty());
+                } else {
+                    assert_eq!(r.len(), 2, "{s}->{d}");
+                    assert_eq!(t.links()[r[0]].from, Port::Host(s));
+                    assert_eq!(t.links()[r[1]].to, Port::Host(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_switch_cross_routes_are_three_hops() {
+        let t = Topology::dual_switch(8, 1);
+        // same side: 2 hops
+        assert_eq!(t.route(0, 1).len(), 2);
+        // across the trunk: 3 hops
+        assert_eq!(t.route(0, 7).len(), 3);
+        assert_eq!(t.route(7, 0).len(), 3);
+    }
+
+    #[test]
+    fn routes_are_fixed_and_symmetric_in_length() {
+        let t = Topology::single_switch(4);
+        for s in 0..4 {
+            for d in 0..4 {
+                assert_eq!(t.route(s, d).len(), t.route(d, s).len());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn unreachable_host_panics() {
+        // Host 1 has no incoming link.
+        let links = vec![Link {
+            from: Port::Host(0),
+            to: Port::Switch(0),
+            bandwidth: MYRINET_BW,
+            latency_cycles: 1,
+        }];
+        Topology::from_parts(2, 1, links);
+    }
+}

@@ -1,0 +1,108 @@
+//! The control network (paper §2.1): "a 10 MB switched Ethernet that
+//! serves for control functions".
+//!
+//! The masterd reaches all nodeds with a single multicast (ParPar preloads
+//! jobs over multicast too, [Kavas et al. 2001]); nodeds answer with
+//! unicasts that serialize on the master's link. Delivery times are what
+//! matter here — payloads travel inside the discrete events of the cluster
+//! simulator.
+
+use sim_core::time::{Cycles, SimTime};
+
+/// Timing model of the control Ethernet.
+#[derive(Debug, Clone)]
+pub struct ControlNet {
+    /// One-way latency of a multicast from the master to every node
+    /// (wire + IP stack + daemon socket wakeup).
+    pub multicast_latency: Cycles,
+    /// One-way latency of a node→master unicast.
+    pub unicast_latency: Cycles,
+    /// Wire serialization per control message (≈128 B at 10 Mb/s).
+    pub per_msg_wire: Cycles,
+    master_link_free: SimTime,
+    /// Messages carried.
+    pub messages: u64,
+}
+
+impl Default for ControlNet {
+    fn default() -> Self {
+        ControlNet {
+            multicast_latency: Cycles::from_us(300),
+            unicast_latency: Cycles::from_us(300),
+            per_msg_wire: Cycles::from_us(100),
+            master_link_free: SimTime::ZERO,
+            messages: 0,
+        }
+    }
+}
+
+impl ControlNet {
+    /// A control net with default ParPar-era constants.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Master multicasts one message at `now`; returns the delivery instant
+    /// at every node (one wire transmission — the multicast property).
+    pub fn multicast(&mut self, now: SimTime) -> SimTime {
+        let start = now.max(self.master_link_free);
+        let end = start + self.per_msg_wire;
+        self.master_link_free = end;
+        self.messages += 1;
+        end + self.multicast_latency
+    }
+
+    /// A node unicasts one message to the master at `now`; returns delivery
+    /// at the master. Node links are independent, but all unicasts share
+    /// the master's receive link.
+    pub fn unicast_to_master(&mut self, now: SimTime) -> SimTime {
+        let start = now.max(self.master_link_free);
+        let end = start + self.per_msg_wire;
+        self.master_link_free = end;
+        self.messages += 1;
+        end + self.unicast_latency
+    }
+
+    /// Master unicasts to a single node.
+    pub fn unicast_to_node(&mut self, now: SimTime) -> SimTime {
+        // Same shared-link discipline as the multicast.
+        self.multicast(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multicast_is_one_transmission() {
+        let mut c = ControlNet::new();
+        let d = c.multicast(SimTime::ZERO);
+        // 100 us wire + 300 us latency = 400 us = 80_000 cycles.
+        assert_eq!(d, SimTime(80_000));
+        assert_eq!(c.messages, 1);
+    }
+
+    #[test]
+    fn master_link_serializes_messages() {
+        let mut c = ControlNet::new();
+        let d1 = c.multicast(SimTime::ZERO);
+        let d2 = c.multicast(SimTime::ZERO);
+        assert_eq!(d2.raw() - d1.raw(), c.per_msg_wire.raw());
+        // Node replies queue behind too.
+        let r = c.unicast_to_master(SimTime::ZERO);
+        assert!(r > d2);
+    }
+
+    #[test]
+    fn idle_link_adds_no_queueing() {
+        let mut c = ControlNet::new();
+        let d1 = c.unicast_to_master(SimTime::ZERO);
+        let d2 = c.unicast_to_master(SimTime(10_000_000));
+        assert_eq!(
+            d2.raw() - 10_000_000,
+            d1.raw(),
+            "an idle link should impose only fixed costs"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The job representative (paper §2.1): "when a user wishes to run a
+//! parallel application he contacts the masterd using a third program
+//! called the job representative, jobrep, which negotiates the loading of
+//! the application with the masterd."
+//!
+//! This module provides the negotiation queue: submissions that do not fit
+//! the gang matrix wait in FIFO order and are admitted as earlier jobs
+//! finish and free their slots.
+
+use std::collections::VecDeque;
+
+use crate::job::JobSpec;
+use crate::masterd::{Masterd, Submitted};
+use crate::matrix::PlaceError;
+
+/// Running counters for the submission queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobRepStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs admitted into the matrix.
+    pub admitted: u64,
+    /// Jobs rejected outright (would never fit).
+    pub rejected: u64,
+}
+
+/// The jobrep's FIFO negotiation queue.
+#[derive(Debug, Clone, Default)]
+pub struct JobRep {
+    waiting: VecDeque<JobSpec>,
+    /// Counters.
+    pub stats: JobRepStats,
+}
+
+impl JobRep {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jobs waiting for space.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Submit a job: admitted immediately if the matrix has room, queued
+    /// otherwise. Returns `Ok(Some(..))` on immediate admission,
+    /// `Ok(None)` if queued, `Err` if the job can never fit.
+    pub fn submit(
+        &mut self,
+        master: &mut Masterd,
+        spec: JobSpec,
+    ) -> Result<Option<Submitted>, PlaceError> {
+        self.stats.submitted += 1;
+        if spec.nprocs == 0 || spec.nprocs > master.matrix().nodes() {
+            self.stats.rejected += 1;
+            return Err(PlaceError::TooLarge);
+        }
+        // FIFO fairness: if others are already waiting, go behind them.
+        if !self.waiting.is_empty() {
+            self.waiting.push_back(spec);
+            return Ok(None);
+        }
+        match master.submit(spec.clone()) {
+            Ok(sub) => {
+                self.stats.admitted += 1;
+                Ok(Some(sub))
+            }
+            Err(PlaceError::NoSlot) | Err(PlaceError::PinnedBusy) => {
+                self.waiting.push_back(spec);
+                Ok(None)
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Try to admit queued jobs (call when a job finishes and frees
+    /// matrix space). Admits the FIFO head repeatedly until it no longer
+    /// fits; returns the admissions made.
+    pub fn drain(&mut self, master: &mut Masterd) -> Vec<Submitted> {
+        let mut out = Vec::new();
+        while let Some(spec) = self.waiting.front() {
+            match master.submit(spec.clone()) {
+                Ok(sub) => {
+                    self.waiting.pop_front();
+                    self.stats.admitted += 1;
+                    out.push(sub);
+                }
+                Err(PlaceError::NoSlot) | Err(PlaceError::PinnedBusy) => break,
+                Err(_) => {
+                    // Head became invalid (e.g. duplicate): drop it.
+                    self.waiting.pop_front();
+                    self.stats.rejected += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    #[test]
+    fn immediate_admission_when_space() {
+        let mut m = Masterd::new(4, 1);
+        let mut jr = JobRep::new();
+        let sub = jr.submit(&mut m, JobSpec::sized("a", 4)).unwrap();
+        assert!(sub.is_some());
+        assert_eq!(jr.waiting(), 0);
+        assert_eq!(jr.stats.admitted, 1);
+    }
+
+    #[test]
+    fn queueing_when_matrix_full_then_admission_on_finish() {
+        let mut m = Masterd::new(2, 1);
+        let mut jr = JobRep::new();
+        let first = jr.submit(&mut m, JobSpec::sized("a", 2)).unwrap().unwrap();
+        // Matrix full: second waits.
+        assert!(jr.submit(&mut m, JobSpec::sized("b", 2)).unwrap().is_none());
+        assert_eq!(jr.waiting(), 1);
+        assert!(jr.drain(&mut m).is_empty());
+        // First job finishes → space frees → b admitted.
+        m.on_job_finished(first.job, first.placement.nodes[0]);
+        m.on_job_finished(first.job, first.placement.nodes[1]);
+        let admitted = jr.drain(&mut m);
+        assert_eq!(admitted.len(), 1);
+        assert_eq!(admitted[0].job, JobId(2));
+        assert_eq!(jr.waiting(), 0);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut m = Masterd::new(2, 1);
+        let mut jr = JobRep::new();
+        let a = jr.submit(&mut m, JobSpec::sized("a", 2)).unwrap().unwrap();
+        jr.submit(&mut m, JobSpec::sized("b", 2)).unwrap();
+        // c submits while b waits: it must queue behind b even though it
+        // also wouldn't fit.
+        jr.submit(&mut m, JobSpec::sized("c", 1)).unwrap();
+        assert_eq!(jr.waiting(), 2);
+        m.on_job_finished(a.job, a.placement.nodes[0]);
+        m.on_job_finished(a.job, a.placement.nodes[1]);
+        let admitted = jr.drain(&mut m);
+        // Both fit now (b takes the slot's two nodes? no: 2-node matrix,
+        // 1 slot — b takes both nodes, c must wait again).
+        assert_eq!(admitted.len(), 1);
+        assert_eq!(admitted[0].placement.nodes.len(), 2);
+        assert_eq!(jr.waiting(), 1);
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected_not_queued() {
+        let mut m = Masterd::new(2, 1);
+        let mut jr = JobRep::new();
+        let res = jr.submit(&mut m, JobSpec::sized("huge", 5));
+        assert!(matches!(res, Err(PlaceError::TooLarge)));
+        assert_eq!(jr.waiting(), 0);
+        assert_eq!(jr.stats.rejected, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # parpar — cluster management of the ParPar software MPP
+//!
+//! The management plane of the reproduction (paper §2.1): the masterd with
+//! its gang-scheduling matrix (DHC buddy placement, round-robin slot
+//! rotation), the per-node nodeds, the control-Ethernet timing model, and
+//! the daemon protocol of Fig. 2.
+//!
+//! These are pure state machines; the `cluster` crate delivers their
+//! messages as discrete events with `ControlNet` timing.
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod job;
+pub mod jobrep;
+pub mod masterd;
+pub mod matrix;
+pub mod noded;
+pub mod protocol;
+
+pub use control::ControlNet;
+pub use job::{JobId, JobSpec, JobState};
+pub use jobrep::{JobRep, JobRepStats};
+pub use masterd::{Masterd, SwitchOrder, Submitted};
+pub use matrix::{GangMatrix, PlaceError, Placement};
+pub use noded::Noded;
+pub use protocol::{MasterMsg, NodedCmd};

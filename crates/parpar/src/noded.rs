@@ -1,0 +1,117 @@
+//! The per-node daemon's bookkeeping: which process serves which time slot
+//! on this node (paper §2.1).
+//!
+//! The event-level behavior of the noded — reacting to control messages,
+//! driving the three-phase switch — lives in the cluster simulator; this
+//! state machine answers "who runs in slot s here?" and tracks per-node
+//! switch statistics.
+
+use std::collections::BTreeMap;
+
+use hostsim::process::Pid;
+
+use crate::job::JobId;
+
+/// The noded's slot table for one node.
+#[derive(Debug, Clone)]
+pub struct Noded {
+    /// This node's id.
+    pub node: usize,
+    /// slot → (job, pid) for processes hosted here.
+    assignments: BTreeMap<usize, (JobId, Pid)>,
+    /// Slot this node believes is active.
+    pub current_slot: usize,
+    /// Switches this node has completed.
+    pub switches_done: u64,
+}
+
+impl Noded {
+    /// A noded for `node` starting at slot 0.
+    pub fn new(node: usize) -> Self {
+        Noded {
+            node,
+            assignments: BTreeMap::new(),
+            current_slot: 0,
+            switches_done: 0,
+        }
+    }
+
+    /// Record that `pid` serves `job` in `slot` on this node.
+    /// Panics if the slot is already taken — the masterd's matrix should
+    /// make that impossible.
+    pub fn assign(&mut self, slot: usize, job: JobId, pid: Pid) {
+        let prev = self.assignments.insert(slot, (job, pid));
+        assert!(
+            prev.is_none(),
+            "slot {slot} on node {} double-booked",
+            self.node
+        );
+    }
+
+    /// The (job, pid) serving `slot`, if any.
+    pub fn in_slot(&self, slot: usize) -> Option<(JobId, Pid)> {
+        self.assignments.get(&slot).copied()
+    }
+
+    /// The (job, pid) currently scheduled (in the active slot).
+    pub fn running(&self) -> Option<(JobId, Pid)> {
+        self.in_slot(self.current_slot)
+    }
+
+    /// The slot `job` occupies on this node, if any.
+    pub fn slot_of(&self, job: JobId) -> Option<usize> {
+        self.assignments
+            .iter()
+            .find(|(_, (j, _))| *j == job)
+            .map(|(s, _)| *s)
+    }
+
+    /// Remove a finished/killed job's assignment.
+    pub fn remove_job(&mut self, job: JobId) -> Option<(usize, Pid)> {
+        let slot = self.slot_of(job)?;
+        let (_, pid) = self.assignments.remove(&slot).unwrap();
+        Some((slot, pid))
+    }
+
+    /// All assignments, ascending by slot.
+    pub fn assignments(&self) -> impl Iterator<Item = (usize, JobId, Pid)> + '_ {
+        self.assignments.iter().map(|(s, (j, p))| (*s, *j, *p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut n = Noded::new(3);
+        n.assign(0, JobId(1), Pid(100));
+        n.assign(2, JobId(5), Pid(101));
+        assert_eq!(n.in_slot(0), Some((JobId(1), Pid(100))));
+        assert_eq!(n.in_slot(1), None);
+        assert_eq!(n.running(), Some((JobId(1), Pid(100))));
+        assert_eq!(n.slot_of(JobId(5)), Some(2));
+        n.current_slot = 2;
+        assert_eq!(n.running(), Some((JobId(5), Pid(101))));
+    }
+
+    #[test]
+    fn remove_job_frees_slot() {
+        let mut n = Noded::new(0);
+        n.assign(1, JobId(9), Pid(42));
+        assert_eq!(n.remove_job(JobId(9)), Some((1, Pid(42))));
+        assert_eq!(n.in_slot(1), None);
+        assert_eq!(n.remove_job(JobId(9)), None);
+        // Slot is reusable.
+        n.assign(1, JobId(10), Pid(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn double_booking_panics() {
+        let mut n = Noded::new(0);
+        n.assign(0, JobId(1), Pid(1));
+        n.assign(0, JobId(2), Pid(2));
+    }
+}

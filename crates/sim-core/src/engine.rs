@@ -1,0 +1,410 @@
+//! A deterministic discrete-event simulation engine.
+//!
+//! The engine is generic over a [`Model`]: the model owns all simulation
+//! state and handles events; the engine owns the clock and the pending-event
+//! queue. Events scheduled for the same instant are delivered in the order
+//! they were scheduled (FIFO tie-breaking by a monotone sequence number), so
+//! a run is bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Cycles, SimTime};
+
+/// A simulation model: the state machine driven by the engine.
+pub trait Model {
+    /// The event alphabet of the model.
+    type Event;
+
+    /// Handle one event at instant `now`, scheduling any follow-up events
+    /// through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The pending-event queue, handed to the model during event handling so it
+/// can schedule follow-ups.
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute instant `t`. Scheduling in the past
+    /// panics in debug builds (it would silently reorder causality).
+    pub fn at(&mut self, t: SimTime, event: E) {
+        debug_assert!(t >= self.now, "scheduling into the past: {t:?} < {:?}", self.now);
+        let t = t.max(self.now);
+        self.heap.push(Scheduled {
+            time: t,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a relative delay `d`.
+    #[inline]
+    pub fn after(&mut self, d: Cycles, event: E) {
+        self.at(self.now + d, event);
+    }
+
+    /// Schedule `event` at the current instant (delivered after the events
+    /// already queued for this instant).
+    #[inline]
+    pub fn immediately(&mut self, event: E) {
+        self.at(self.now, event);
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+/// Why a [`Engine::run_until`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Idle,
+    /// The horizon instant was reached with events still pending.
+    Horizon,
+    /// The event-count safety limit was hit (almost certainly a livelock in
+    /// the model).
+    EventLimit,
+}
+
+/// The simulation engine: a clock, a queue, and a model.
+///
+/// ```
+/// use sim_core::engine::{Engine, Model, Scheduler};
+/// use sim_core::time::{Cycles, SimTime};
+///
+/// // A model that counts down, rescheduling itself every 100 cycles.
+/// struct Countdown(u32);
+/// impl Model for Countdown {
+///     type Event = ();
+///     fn handle(&mut self, _t: SimTime, _e: (), sched: &mut Scheduler<()>) {
+///         if self.0 > 0 {
+///             self.0 -= 1;
+///             sched.after(Cycles(100), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Countdown(5));
+/// engine.schedule_at(SimTime::ZERO, ());
+/// engine.run_to_idle();
+/// assert_eq!(engine.model.0, 0);
+/// assert_eq!(engine.now(), SimTime(500));
+/// ```
+pub struct Engine<M: Model> {
+    /// The simulation model. Public so drivers can inspect/instrument state
+    /// between runs.
+    pub model: M,
+    sched: Scheduler<M::Event>,
+    events_processed: u64,
+    /// Safety valve against model livelocks (an event chain that never
+    /// advances time). Checked by [`Engine::run_until`].
+    pub event_limit: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine at time zero with an empty queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            sched: Scheduler::new(),
+            events_processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Total events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.sched.pending()
+    }
+
+    /// Schedule an event at an absolute instant (driver-side).
+    pub fn schedule_at(&mut self, t: SimTime, event: M::Event) {
+        self.sched.at(t, event);
+    }
+
+    /// Schedule an event after a delay (driver-side).
+    pub fn schedule_after(&mut self, d: Cycles, event: M::Event) {
+        self.sched.after(d, event);
+    }
+
+    /// Give a driver combined access to the model and the scheduler at the
+    /// current instant — for injecting state changes that need to schedule
+    /// follow-up events (e.g. exercising an API between runs).
+    pub fn drive<R>(&mut self, f: impl FnOnce(&mut M, &mut Scheduler<M::Event>) -> R) -> R {
+        f(&mut self.model, &mut self.sched)
+    }
+
+    /// Process a single event, if any. Returns the instant it fired.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let item = self.sched.pop()?;
+        debug_assert!(item.time >= self.sched.now);
+        self.sched.now = item.time;
+        self.events_processed += 1;
+        self.model.handle(item.time, item.event, &mut self.sched);
+        Some(item.time)
+    }
+
+    /// Run until the queue drains or `horizon` is reached. Events scheduled
+    /// exactly at the horizon are processed; afterwards the clock is advanced
+    /// to the horizon even if the queue drained earlier.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let start_events = self.events_processed;
+        loop {
+            match self.sched.peek_time() {
+                Some(t) if t <= horizon => {
+                    self.step();
+                    if self.events_processed - start_events >= self.event_limit {
+                        return RunOutcome::EventLimit;
+                    }
+                }
+                Some(_) => {
+                    self.sched.now = horizon;
+                    return RunOutcome::Horizon;
+                }
+                None => {
+                    self.sched.now = horizon.max(self.sched.now);
+                    return RunOutcome::Idle;
+                }
+            }
+        }
+    }
+
+    /// Run until the queue drains completely.
+    pub fn run_to_idle(&mut self) -> RunOutcome {
+        let start_events = self.events_processed;
+        while self.step().is_some() {
+            if self.events_processed - start_events >= self.event_limit {
+                return RunOutcome::EventLimit;
+            }
+        }
+        RunOutcome::Idle
+    }
+
+    /// Run until `pred` over the model becomes true (checked after every
+    /// event), the queue drains, or the horizon passes.
+    pub fn run_until_pred(
+        &mut self,
+        horizon: SimTime,
+        mut pred: impl FnMut(&M) -> bool,
+    ) -> RunOutcome {
+        let start_events = self.events_processed;
+        loop {
+            if pred(&self.model) {
+                return RunOutcome::Horizon;
+            }
+            match self.sched.peek_time() {
+                Some(t) if t <= horizon => {
+                    self.step();
+                    if self.events_processed - start_events >= self.event_limit {
+                        return RunOutcome::EventLimit;
+                    }
+                }
+                Some(_) => {
+                    self.sched.now = horizon;
+                    return RunOutcome::Horizon;
+                }
+                None => return RunOutcome::Idle,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy model that records the order events fire in.
+    struct Recorder {
+        fired: Vec<(u64, u32)>,
+        chain_left: u32,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push((now.raw(), ev));
+            if ev == 99 && self.chain_left > 0 {
+                self.chain_left -= 1;
+                sched.after(Cycles(10), 99);
+            }
+        }
+    }
+
+    fn engine() -> Engine<Recorder> {
+        Engine::new(Recorder {
+            fired: Vec::new(),
+            chain_left: 0,
+        })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = engine();
+        e.schedule_at(SimTime(30), 3);
+        e.schedule_at(SimTime(10), 1);
+        e.schedule_at(SimTime(20), 2);
+        assert_eq!(e.run_to_idle(), RunOutcome::Idle);
+        assert_eq!(e.model.fired, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut e = engine();
+        for i in 0..100 {
+            e.schedule_at(SimTime(5), i);
+        }
+        e.run_to_idle();
+        let expect: Vec<_> = (0..100).map(|i| (5, i)).collect();
+        assert_eq!(e.model.fired, expect);
+    }
+
+    #[test]
+    fn chained_events_advance_time() {
+        let mut e = engine();
+        e.model.chain_left = 5;
+        e.schedule_at(SimTime(0), 99);
+        e.run_to_idle();
+        assert_eq!(e.now(), SimTime(50));
+        assert_eq!(e.model.fired.len(), 6);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut e = engine();
+        e.schedule_at(SimTime(10), 1);
+        e.schedule_at(SimTime(100), 2);
+        assert_eq!(e.run_until(SimTime(50)), RunOutcome::Horizon);
+        assert_eq!(e.now(), SimTime(50));
+        assert_eq!(e.model.fired, vec![(10, 1)]);
+        // Event exactly at the horizon is included.
+        assert_eq!(e.run_until(SimTime(100)), RunOutcome::Idle);
+        assert_eq!(e.model.fired, vec![(10, 1), (100, 2)]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut e = engine();
+        assert_eq!(e.run_until(SimTime(1234)), RunOutcome::Idle);
+        assert_eq!(e.now(), SimTime(1234));
+    }
+
+    #[test]
+    fn event_limit_catches_livelock() {
+        struct Livelock;
+        impl Model for Livelock {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.immediately(());
+            }
+        }
+        let mut e = Engine::new(Livelock);
+        e.event_limit = 1000;
+        e.schedule_at(SimTime(0), ());
+        assert_eq!(e.run_to_idle(), RunOutcome::EventLimit);
+        assert_eq!(e.events_processed(), 1000);
+    }
+
+    #[test]
+    fn run_until_pred_stops_early() {
+        let mut e = engine();
+        for i in 0..10 {
+            e.schedule_at(SimTime(i as u64 * 10), i);
+        }
+        let out = e.run_until_pred(SimTime(1000), |m| m.fired.len() == 4);
+        assert_eq!(out, RunOutcome::Horizon);
+        assert_eq!(e.model.fired.len(), 4);
+    }
+
+    #[test]
+    fn same_instant_rescheduling_is_fifo_not_starving() {
+        // An event scheduled "immediately" during handling runs after other
+        // events already queued at that instant.
+        struct M2(Vec<u32>);
+        impl Model for M2 {
+            type Event = u32;
+            fn handle(&mut self, _: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.0.push(ev);
+                if ev == 0 {
+                    sched.immediately(100);
+                }
+            }
+        }
+        let mut e = Engine::new(M2(Vec::new()));
+        e.schedule_at(SimTime(0), 0);
+        e.schedule_at(SimTime(0), 1);
+        e.run_to_idle();
+        assert_eq!(e.model.0, vec![0, 1, 100]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic random-number generation.
+//!
+//! Every stochastic choice in the simulation draws from a [`DetRng`] seeded
+//! from the experiment configuration, so a run is exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A small, fast, seedable RNG with convenience helpers.
+///
+/// Carries its seed so that independent child streams can be derived with
+/// [`DetRng::fork`] (one stream per node / application / purpose), keeping
+/// consumers from perturbing each other's sequences.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            seed,
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream; `stream` tags the purpose (node
+    /// id, app id, …) so different consumers never share a sequence.
+    pub fn fork(&self, stream: u64) -> Self {
+        // SplitMix64-style mix of the parent seed and the stream tag.
+        let mut z = self
+            .seed
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::new(z ^ (z >> 31))
+    }
+
+    /// The seed this stream was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.below(1000) == b.below(1000)).count();
+        assert!(same < 8, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let root = DetRng::new(7);
+        let mut c1 = root.fork(1);
+        let mut c1b = DetRng::new(7).fork(1);
+        let mut c2 = root.fork(2);
+        let v1: Vec<u64> = (0..16).map(|_| c1.below(1 << 30)).collect();
+        let v1b: Vec<u64> = (0..16).map(|_| c1b.below(1 << 30)).collect();
+        let v2: Vec<u64> = (0..16).map(|_| c2.below(1 << 30)).collect();
+        assert_eq!(v1, v1b);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn fork_of_stream_zero_differs_from_parent() {
+        let root = DetRng::new(7);
+        let mut child = root.fork(0);
+        let mut parent = DetRng::new(7);
+        let a: Vec<u64> = (0..16).map(|_| child.below(1 << 30)).collect();
+        let b: Vec<u64> = (0..16).map(|_| parent.below(1 << 30)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(3);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

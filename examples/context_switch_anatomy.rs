@@ -1,0 +1,84 @@
+//! Anatomy of one gang context switch (paper §3.2, Figs. 3/4/7/9).
+//!
+//! Runs two all-to-all jobs on a small cluster with tracing enabled and
+//! prints the interleaved halt/flush/copy/release protocol as it executes,
+//! followed by the per-stage cycle breakdown under both copy algorithms.
+//!
+//! ```text
+//! cargo run --release --example context_switch_anatomy
+//! ```
+
+use cluster::{ClusterConfig, Sim};
+use fastmsg::division::BufferPolicy;
+use gang_comm::switcher::CopyStrategy;
+use sim_core::time::{Cycles, SimTime};
+use sim_core::trace::Category;
+use workloads::alltoall::AllToAll;
+
+fn run(copy: CopyStrategy, show_trace: bool) {
+    let nodes = 4;
+    let mut cfg = ClusterConfig::parpar(nodes, 2, BufferPolicy::FullBuffer);
+    cfg.copy = copy;
+    cfg.quantum = Cycles::from_ms(50);
+    cfg.trace_capacity = 8192;
+    let mut sim = Sim::new(cfg);
+    let a2a = AllToAll::stress(nodes);
+    let all: Vec<usize> = (0..nodes).collect();
+    sim.submit(&a2a, Some(all.clone())).expect("submit");
+    sim.submit(&a2a, Some(all)).expect("submit");
+    sim.engine
+        .run_until_pred(SimTime::ZERO + Cycles::from_secs(30), |w| {
+            w.stats.switches >= 2
+        });
+    let w = sim.world();
+
+    if show_trace {
+        println!("--- switch protocol trace (first completed switch) ---");
+        let mut shown = 0;
+        for r in w.trace.by_category(Category::Switch) {
+            println!("{r}");
+            shown += 1;
+            if shown > 3 * nodes + 8 {
+                println!("  ... (truncated)");
+                break;
+            }
+        }
+    }
+
+    let (halt, copy_c, release) = w.stats.ledger.mean_stages();
+    println!(
+        "\n{:?}: mean stage cycles over {} node-switches:",
+        copy,
+        w.stats.ledger.samples()
+    );
+    println!("  halt (flush protocol) : {halt:>12.0} cycles ({:.2} ms)", halt / 200_000.0);
+    println!("  buffer switch         : {copy_c:>12.0} cycles ({:.2} ms)", copy_c / 200_000.0);
+    println!("  release protocol      : {release:>12.0} cycles ({:.2} ms)", release / 200_000.0);
+    println!(
+        "  => overhead on a 1 s gang quantum: {:.3}%",
+        w.stats.ledger.overhead_pct(Cycles::from_secs(1))
+    );
+    if !w.stats.queue_samples.is_empty() {
+        let n = w.stats.queue_samples.len() as f64;
+        let (s, r) = w.stats.queue_samples.iter().fold((0.0, 0.0), |(s, r), q| {
+            (s + q.send_valid as f64, r + q.recv_valid as f64)
+        });
+        println!(
+            "  mean queue occupancy at switch time: {:.1} send / {:.1} recv valid packets",
+            s / n,
+            r / n
+        );
+    }
+}
+
+fn main() {
+    println!("== full-buffer copy (paper Fig. 7) ==");
+    run(CopyStrategy::Full, true);
+    println!("\n== valid-packets-only copy (paper Fig. 9) ==");
+    run(CopyStrategy::ValidOnly, false);
+    println!(
+        "\nThe improved algorithm scans the queues and copies only the valid\n\
+         packets; because the queues are nearly empty (paper Fig. 8), the\n\
+         dominant stage shrinks by an order of magnitude."
+    );
+}

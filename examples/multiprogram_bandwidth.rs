@@ -1,0 +1,47 @@
+//! The paper's headline experiment in miniature (Fig. 5 vs Fig. 6): what
+//! happens to communication bandwidth as a cluster is multiprogrammed with
+//! more and more parallel applications?
+//!
+//! * Stock FM divides the NIC buffers statically → the credit window
+//!   shrinks as `1/n²` and bandwidth collapses;
+//! * the gang-scheduled buffer switch gives each running job the whole
+//!   buffer → total bandwidth stays flat.
+//!
+//! ```text
+//! cargo run --release --example multiprogram_bandwidth
+//! ```
+
+use cluster::measure::{fig5_cell, fig6_cell};
+use sim_core::report::Table;
+use sim_core::time::Cycles;
+
+fn main() {
+    let msg = 16 * 1024;
+    let mut table = Table::new(
+        "bandwidth vs number of multiprogrammed applications (16 KB messages)",
+        &[
+            "apps",
+            "static C0",
+            "static MB/s",
+            "switched C0",
+            "switched total MB/s",
+        ],
+    );
+    for n in 1..=8usize {
+        let stat = fig5_cell(n, msg, 200, 7);
+        let full = fig6_cell(n, msg, Cycles::from_ms(100), Cycles::from_ms(300), 7);
+        table.row(vec![
+            n.into(),
+            stat.credits.into(),
+            stat.mbps.into(),
+            full.credits.into(),
+            full.total_mbps.into(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Static division dies once C0 floors to zero; the buffer-switching\n\
+         scheme holds ~70+ MB/s regardless of how many applications share\n\
+         the machine — the paper's Figs. 5 and 6 in one table."
+    );
+}

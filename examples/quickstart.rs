@@ -1,0 +1,67 @@
+//! Quickstart: build a simulated ParPar cluster, run the paper's
+//! point-to-point bandwidth benchmark under the buffer-switching scheme,
+//! and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cluster::{ClusterConfig, Sim};
+use fastmsg::division::BufferPolicy;
+use gang_comm::api::TABLE1_API;
+use sim_core::time::{Cycles, SimTime};
+use workloads::p2p::P2pBandwidth;
+
+fn main() {
+    // A 16-node ParPar with the paper's scheme: the running job owns the
+    // whole NIC buffer; queue contents are swapped at gang switches.
+    let mut cfg = ClusterConfig::parpar(16, 2, BufferPolicy::FullBuffer);
+    cfg.quantum = Cycles::from_ms(100);
+    let geo = cfg.fm.geometry();
+    println!("cluster: {} nodes, {} gang slots", cfg.nodes, cfg.slots);
+    println!(
+        "FM geometry: send queue {} pkts, recv queue {} pkts, C0 = {} credits/peer",
+        geo.send_slots, geo.recv_slots, geo.credits
+    );
+    println!(
+        "network-management API (paper Table 1): {}",
+        TABLE1_API.join(", ")
+    );
+
+    let mut sim = Sim::new(cfg);
+
+    // Two copies of the paper's bandwidth benchmark on the same node pair:
+    // they occupy two time slots and alternate each quantum.
+    let bench = P2pBandwidth::with_count(65536, 2_000);
+    let j1 = sim.submit(&bench, Some(vec![0, 1])).expect("submit");
+    let j2 = sim.submit(&bench, Some(vec![0, 1])).expect("submit");
+    println!("\nsubmitted {j1} and {j2} (pinned to nodes 0,1; two slots)");
+
+    let finished = sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(60));
+    assert!(finished, "benchmarks did not finish");
+
+    let w = sim.world();
+    let payload = 65536 * 2_000u64;
+    for j in [j1, j2] {
+        let bw = w.stats.job_bandwidth_mbps(j, payload).unwrap();
+        let t0 = w.stats.job_first_send[&j];
+        let t1 = w.stats.job_finished[&j];
+        println!(
+            "{j}: {:.1} MB/s of application bandwidth ({} -> {})",
+            bw, t0, t1
+        );
+    }
+    println!(
+        "\ngang switches completed: {}, packets dropped: {}",
+        w.stats.switches, w.stats.drops
+    );
+    let (halt, copy, release) = w.stats.ledger.mean_stages();
+    println!(
+        "mean switch stages: halt {:.0} cycles, buffer switch {:.0} cycles, release {:.0} cycles",
+        halt, copy, release
+    );
+    println!(
+        "switch overhead at the paper's 1 s quantum: {:.3}%",
+        w.stats.ledger.overhead_pct(Cycles::from_secs(1))
+    );
+}

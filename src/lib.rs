@@ -1,0 +1,10 @@
+//! Umbrella crate re-exporting the full reproduction stack.
+pub use cluster;
+pub use fastmsg;
+pub use gang_comm;
+pub use hostsim;
+pub use lanai;
+pub use myrinet;
+pub use parpar;
+pub use sim_core;
+pub use workloads;

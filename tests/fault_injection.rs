@@ -1,0 +1,76 @@
+//! Fault injection: the paper's §2.2 warning made executable.
+//!
+//! "Because of this credit scheme and the credit refill technique, a
+//! single packet loss can mess up the credit counters and the entire flow
+//! control algorithm. FM does not have a retransmission mechanism, based
+//! on the assumption of an insignificant error rate on a SAN."
+
+use cluster::{ClusterConfig, Sim};
+use fastmsg::division::BufferPolicy;
+use sim_core::time::{Cycles, SimTime};
+use workloads::p2p::P2pBandwidth;
+
+fn run_with_loss(ppm: u32) -> (bool, u64, u64) {
+    let mut cfg = ClusterConfig::parpar(4, 2, BufferPolicy::FullBuffer);
+    cfg.auto_rotate = false;
+    cfg.wire_loss_ppm = ppm;
+    cfg.seed = 1234;
+    let mut sim = Sim::new(cfg);
+    let bench = P2pBandwidth::with_count(1536, 20_000);
+    sim.submit(&bench, Some(vec![0, 1])).unwrap();
+    let done = sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(10));
+    let w = sim.world();
+    let stalls: u64 = w
+        .nodes
+        .iter()
+        .flat_map(|n| n.apps.values())
+        .map(|p| p.fm.flow.stats.credit_stalls)
+        .sum();
+    (done, w.stats.wire_losses, stalls)
+}
+
+#[test]
+fn reliable_san_completes() {
+    let (done, losses, _) = run_with_loss(0);
+    assert!(done);
+    assert_eq!(losses, 0);
+}
+
+#[test]
+fn packet_loss_wedges_fm_flow_control() {
+    // At 200 ppm the 20k-message run loses a handful of packets. Lost
+    // data packets consume credits that are never returned; lost refills
+    // strand the window. Without retransmission the benchmark cannot
+    // complete — exactly the fragility §2.2 describes.
+    let (done, losses, _stalls) = run_with_loss(200);
+    assert!(losses > 0, "fault injector never fired");
+    assert!(
+        !done,
+        "FM without retransmission should wedge after {losses} losses"
+    );
+}
+
+#[test]
+fn lost_messages_are_visible_as_gaps_or_shortfall() {
+    let mut cfg = ClusterConfig::parpar(4, 2, BufferPolicy::FullBuffer);
+    cfg.auto_rotate = false;
+    cfg.wire_loss_ppm = 500;
+    cfg.seed = 77;
+    let mut sim = Sim::new(cfg);
+    let bench = P2pBandwidth::with_count(1536, 20_000);
+    sim.submit(&bench, Some(vec![0, 1])).unwrap();
+    sim.run_until(SimTime::ZERO + Cycles::from_secs(5));
+    let w = sim.world();
+    assert!(w.stats.wire_losses > 0);
+    let receiver_msgs: u64 = w
+        .nodes
+        .iter()
+        .flat_map(|n| n.apps.values())
+        .filter(|p| p.rank == 1)
+        .map(|p| p.fm.stats.msgs_received)
+        .sum();
+    assert!(
+        receiver_msgs < 20_000,
+        "loss must be end-to-end visible (got {receiver_msgs})"
+    );
+}

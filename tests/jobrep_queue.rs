@@ -1,0 +1,66 @@
+//! End-to-end jobrep queueing: submissions that do not fit the gang
+//! matrix wait and are admitted automatically as space frees up.
+
+use cluster::{ClusterConfig, Sim};
+use fastmsg::division::BufferPolicy;
+use sim_core::time::{Cycles, SimTime};
+use workloads::p2p::P2pBandwidth;
+
+#[test]
+fn queued_job_runs_after_matrix_space_frees() {
+    // 2 nodes, a 2-deep matrix: two jobs fill it; the third waits.
+    let mut cfg = ClusterConfig::parpar(2, 2, BufferPolicy::FullBuffer);
+    cfg.quantum = Cycles::from_ms(30);
+    let mut sim = Sim::new(cfg);
+    let bench = P2pBandwidth::with_count(2048, 300);
+    let j1 = sim.submit_queued(&bench, None).unwrap().unwrap();
+    let j2 = sim.submit_queued(&bench, None).unwrap().unwrap();
+    let queued = sim.submit_queued(&bench, None).unwrap();
+    assert!(queued.is_none(), "third job should queue");
+    assert_eq!(sim.world().jobrep.waiting(), 1);
+
+    assert!(
+        sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(60)),
+        "all three jobs should eventually finish"
+    );
+    let w = sim.world();
+    assert_eq!(w.jobrep.waiting(), 0);
+    assert_eq!(w.jobrep.stats.admitted, 3);
+    // Three distinct jobs finished, including the late-admitted one.
+    assert_eq!(w.stats.job_finished.len(), 3);
+    assert!(w.stats.job_finished.contains_key(&j1));
+    assert!(w.stats.job_finished.contains_key(&j2));
+    // The queued job started strictly after one of the first two ended.
+    let first_end = w.stats.job_finished.values().min().unwrap();
+    let queued_job = *w
+        .stats
+        .job_all_up
+        .keys()
+        .find(|j| **j != j1 && **j != j2)
+        .expect("queued job never came up");
+    assert!(w.stats.job_all_up[&queued_job] > *first_end);
+    assert_eq!(w.stats.drops, 0);
+}
+
+#[test]
+fn queue_preserves_fifo_admission() {
+    let mut cfg = ClusterConfig::parpar(2, 1, BufferPolicy::FullBuffer);
+    cfg.quantum = Cycles::from_ms(30);
+    let mut sim = Sim::new(cfg);
+    let short = P2pBandwidth::with_count(1024, 50);
+    let _running = sim.submit_queued(&short, None).unwrap().unwrap();
+    // Two more queue up.
+    assert!(sim.submit_queued(&short, None).unwrap().is_none());
+    assert!(sim.submit_queued(&short, None).unwrap().is_none());
+    assert_eq!(sim.world().jobrep.waiting(), 2);
+    assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(60)));
+    let w = sim.world();
+    assert_eq!(w.stats.job_finished.len(), 3);
+    // Jobs were admitted (and thus came up) in submission order:
+    // JobIds are allocated at admission, so all-up order tracks id order.
+    let mut ups: Vec<_> = w.stats.job_all_up.iter().collect();
+    ups.sort_by_key(|(j, _)| **j);
+    for pair in ups.windows(2) {
+        assert!(pair[0].1 <= pair[1].1, "admission out of order");
+    }
+}

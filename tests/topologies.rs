@@ -1,0 +1,95 @@
+//! The protocols only assume per-route FIFO and halt-after-data; verify
+//! the whole stack — flush, switch, collectives — on a multi-hop
+//! dual-switch interconnect with trunk contention.
+
+use cluster::{ClusterConfig, Sim, TopologyKind};
+use fastmsg::division::BufferPolicy;
+use sim_core::time::{Cycles, SimTime};
+use workloads::alltoall::AllToAll;
+use workloads::p2p::P2pBandwidth;
+
+#[test]
+fn cross_trunk_p2p_completes_with_switches() {
+    let mut cfg = ClusterConfig::parpar(8, 2, BufferPolicy::FullBuffer);
+    cfg.topology = TopologyKind::DualSwitch { trunks: 1 };
+    cfg.quantum = Cycles::from_ms(25);
+    let mut sim = Sim::new(cfg);
+    // Nodes 0 and 7 sit on different switches: every packet crosses the
+    // trunk.
+    let bench = P2pBandwidth::with_count(8192, 800);
+    sim.submit(&bench, Some(vec![0, 7])).unwrap();
+    sim.submit(&bench, Some(vec![0, 7])).unwrap();
+    assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(60)));
+    let w = sim.world();
+    assert!(w.stats.switches > 2);
+    assert_eq!(w.stats.drops, 0);
+    for n in &w.nodes {
+        for p in n.apps.values() {
+            assert_eq!(p.fm.gaps, 0);
+            if p.rank == 1 {
+                assert_eq!(p.fm.stats.msgs_received, 800);
+            }
+        }
+    }
+}
+
+#[test]
+fn all_to_all_over_a_contended_trunk_flushes_cleanly() {
+    let mut cfg = ClusterConfig::parpar(8, 2, BufferPolicy::FullBuffer);
+    cfg.topology = TopologyKind::DualSwitch { trunks: 1 };
+    cfg.quantum = Cycles::from_ms(40);
+    let mut sim = Sim::new(cfg);
+    let a = AllToAll {
+        nprocs: 8,
+        msg_bytes: 1536,
+        burst: 6,
+        rounds: Some(60),
+    };
+    let all: Vec<usize> = (0..8).collect();
+    sim.submit(&a, Some(all.clone())).unwrap();
+    sim.submit(&a, Some(all)).unwrap();
+    assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(120)));
+    let w = sim.world();
+    assert_eq!(w.stats.drops, 0);
+    let expect = 60 * 6 * 7;
+    for n in &w.nodes {
+        for p in n.apps.values() {
+            assert_eq!(p.fm.stats.msgs_received, expect);
+        }
+    }
+}
+
+#[test]
+fn trunk_contention_caps_cross_traffic_bandwidth() {
+    // Two concurrent cross-trunk streams share one 160 MB/s trunk; two
+    // same-side streams do not. The same jobs on a single switch are
+    // unconstrained.
+    let run = |topology: TopologyKind, pairs: [(usize, usize); 3]| -> f64 {
+        let mut cfg = ClusterConfig::parpar(8, 1, BufferPolicy::FullBuffer);
+        cfg.topology = topology;
+        cfg.auto_rotate = false;
+        let mut sim = Sim::new(cfg);
+        let bench = P2pBandwidth::with_count(65536, 150);
+        let mut jobs = Vec::new();
+        for (a, b) in pairs {
+            jobs.push(sim.submit(&bench, Some(vec![a, b])).unwrap());
+        }
+        assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(30)));
+        let w = sim.world();
+        jobs.iter()
+            .map(|j| w.stats.job_bandwidth_mbps(*j, 65536 * 150).unwrap())
+            .sum()
+    };
+    let dual = TopologyKind::DualSwitch { trunks: 1 };
+    // Cross-trunk: three ~74 MB/s streams squeeze through one 160 MB/s
+    // trunk link.
+    let cross = run(dual, [(0, 4), (1, 5), (2, 6)]);
+    // Same-side: no shared link — each stream runs at host speed.
+    let local = run(dual, [(0, 1), (2, 3), (4, 5)]);
+    assert!(
+        cross < local * 0.85,
+        "trunk contention should bite: cross {cross} vs local {local}"
+    );
+    // And the trunk carries at most its wire rate.
+    assert!(cross < 165.0, "{cross} exceeds the trunk");
+}
