@@ -67,6 +67,177 @@ fn bench_event_fanout(c: &mut Criterion) {
     });
 }
 
+/// A 72-byte payload: the size of the cluster simulation's `Event` enum,
+/// so queue costs measured here transfer to the real workload.
+type FatEvent = [u64; 9];
+
+/// Steady-state queue pressure: every handled event reschedules itself at a
+/// pseudo-random future offset, so the pending queue holds a constant
+/// `depth` events while the engine churns through them, making per-event
+/// queue costs (sift-up/down at depth) the dominant term.
+struct SteadyState {
+    lcg: u64,
+}
+
+impl Model for SteadyState {
+    type Event = FatEvent;
+    fn handle(&mut self, _now: SimTime, ev: FatEvent, sched: &mut Scheduler<FatEvent>) {
+        // Deterministic LCG: spread reschedules over a 1..=1024 window so
+        // pops interleave all lineages instead of cycling one.
+        self.lcg = self
+            .lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let d = 1 + (self.lcg >> 33) % 1024;
+        sched.after(Cycles(d), ev);
+    }
+}
+
+fn bench_queue_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_queue_depth");
+    for depth in [1_000u64, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut e = Engine::new(SteadyState { lcg: 0x9e3779b9 });
+            for i in 0..depth {
+                e.schedule_at(SimTime(i % 997), [i; 9]);
+            }
+            // Reach steady state before measuring.
+            for _ in 0..depth {
+                e.step();
+            }
+            b.iter(|| {
+                for _ in 0..1_000 {
+                    e.step();
+                }
+                black_box(e.events_processed())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The seed engine's pending queue (`BinaryHeap<Scheduled<E>>`), kept here
+/// verbatim as the baseline the slab-backed [`sim_core::queue::EventQueue`]
+/// is measured against.
+mod binheap_baseline {
+    use sim_core::time::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    pub struct Scheduled<E> {
+        pub time: SimTime,
+        pub seq: u64,
+        pub event: E,
+    }
+
+    impl<E> PartialEq for Scheduled<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Scheduled<E> {}
+    impl<E> PartialOrd for Scheduled<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Scheduled<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.time, other.seq).cmp(&(self.time, self.seq))
+        }
+    }
+
+    pub struct BinHeapQueue<E> {
+        heap: BinaryHeap<Scheduled<E>>,
+    }
+
+    impl<E> BinHeapQueue<E> {
+        pub fn new() -> Self {
+            BinHeapQueue {
+                heap: BinaryHeap::new(),
+            }
+        }
+        pub fn push(&mut self, time: SimTime, seq: u64, event: E) {
+            self.heap.push(Scheduled { time, seq, event });
+        }
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.heap.pop().map(|s| (s.time, s.event))
+        }
+    }
+}
+
+/// Steady-state pop-reschedule churn at constant `depth`, directly on a
+/// queue (no engine, no digest): the isolated cost the queue swap targets.
+fn queue_churn<Q>(
+    depth: u64,
+    steps: u64,
+    mut push: impl FnMut(&mut Q, SimTime, u64, FatEvent),
+    mut pop: impl FnMut(&mut Q) -> Option<(SimTime, FatEvent)>,
+    q: &mut Q,
+    seq: &mut u64,
+    lcg: &mut u64,
+) {
+    let _ = depth;
+    for _ in 0..steps {
+        let (t, ev) = pop(q).expect("steady state is never empty");
+        *lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let d = 1 + (*lcg >> 33) % 1024;
+        push(q, SimTime(t.raw() + d), *seq, ev);
+        *seq += 1;
+    }
+}
+
+fn bench_queue_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_depth_compare");
+    for depth in [1_000u64, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("binheap", depth), &depth, |b, &depth| {
+            let mut q = binheap_baseline::BinHeapQueue::new();
+            let mut seq = 0u64;
+            let mut lcg = 0x9e3779b9u64;
+            for i in 0..depth {
+                q.push(SimTime(i % 997), seq, [i; 9]);
+                seq += 1;
+            }
+            b.iter(|| {
+                queue_churn(
+                    depth,
+                    1_000,
+                    |q, t, s, e| q.push(t, s, e),
+                    |q| q.pop(),
+                    &mut q,
+                    &mut seq,
+                    &mut lcg,
+                );
+                black_box(seq)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("slab4ary", depth), &depth, |b, &depth| {
+            let mut q = sim_core::queue::EventQueue::new();
+            let mut seq = 0u64;
+            let mut lcg = 0x9e3779b9u64;
+            for i in 0..depth {
+                q.push(SimTime(i % 997), seq, [i; 9]);
+                seq += 1;
+            }
+            b.iter(|| {
+                queue_churn(
+                    depth,
+                    1_000,
+                    |q, t, s, e| q.push(t, s, e),
+                    |q| q.pop(),
+                    &mut q,
+                    &mut seq,
+                    &mut lcg,
+                );
+                black_box(seq)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_network_transmit(c: &mut Criterion) {
     let mut g = c.benchmark_group("myrinet_transmit");
     for nodes in [4usize, 16] {
@@ -86,5 +257,12 @@ fn bench_network_transmit(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_chain, bench_event_fanout, bench_network_transmit);
+criterion_group!(
+    benches,
+    bench_event_chain,
+    bench_event_fanout,
+    bench_queue_depth,
+    bench_queue_compare,
+    bench_network_transmit
+);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! the simulator reproduces a Fig. 5 / Fig. 6 cell. These guard against
 //! performance regressions in the event loop and protocol hot paths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cluster::measure::{fig5_cell, fig6_cell};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_core::time::Cycles;
 use std::hint::black_box;
 

@@ -30,7 +30,13 @@ fn main() {
     );
     let rows = par_sweep(nodes.to_vec(), |&n| {
         let f = switch_overhead_run(n, CopyStrategy::Full, SwitchStrategy::GangFlush, 4, seed);
-        let v = switch_overhead_run(n, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 4, seed);
+        let v = switch_overhead_run(
+            n,
+            CopyStrategy::ValidOnly,
+            SwitchStrategy::GangFlush,
+            4,
+            seed,
+        );
         (f.ledger.mean_stages().1, v.ledger.mean_stages().1)
     });
     for (&n, (f, v)) in nodes.iter().zip(&rows) {
@@ -53,7 +59,12 @@ fn main() {
     ];
     let mut t2 = Table::new(
         "ablation 2 — switch strategy (8 nodes, valid-only copy, 6 switches)",
-        &["strategy", "mean total cycles", "dropped packets", "flush protocol"],
+        &[
+            "strategy",
+            "mean total cycles",
+            "dropped packets",
+            "flush protocol",
+        ],
     );
     let rows = par_sweep(strategies.to_vec(), |&s| {
         let r = switch_overhead_run(8, CopyStrategy::ValidOnly, s, 6, seed);
@@ -72,7 +83,15 @@ fn main() {
     // 3. Credit rounding at the static-division cliff.
     let mut t3 = Table::new(
         "ablation 3 — credit rounding at the cutoff (static division, 4 KB msgs)",
-        &["contexts", "floor C0", "floor MB/s", "round C0", "round MB/s", "ceil C0", "ceil MB/s"],
+        &[
+            "contexts",
+            "floor C0",
+            "floor MB/s",
+            "round C0",
+            "round MB/s",
+            "ceil C0",
+            "ceil MB/s",
+        ],
     );
     let params: Vec<usize> = (5..=9).collect();
     let rows = par_sweep(params.clone(), |&n| {

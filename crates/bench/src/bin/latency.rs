@@ -69,7 +69,11 @@ fn main() {
     });
     let mut table = Table::new(
         "one-way latency (µs) — dedicated vs gang-scheduled with a competitor job",
-        &["msg bytes", "dedicated µs", "gang-scheduled µs (within a quantum)"],
+        &[
+            "msg bytes",
+            "dedicated µs",
+            "gang-scheduled µs (within a quantum)",
+        ],
     );
     for (&sz, (ded, gang)) in sizes.iter().zip(&rows) {
         table.row(vec![sz.into(), Cell::Float(*ded, 2), Cell::Float(*gang, 2)]);

@@ -43,16 +43,7 @@ fn main() {
     // -- analytic switch bounds -----------------------------------------
     let cfg = FmConfig::parpar(16, 2, BufferPolicy::FullBuffer);
     let costs = SwitchCosts::default();
-    let full = switch_cost(
-        CopyStrategy::Full,
-        &cfg,
-        &mem,
-        &costs,
-        252,
-        668,
-        252,
-        668,
-    );
+    let full = switch_cost(CopyStrategy::Full, &cfg, &mem, &costs, 252, 668, 252, 668);
     let improved = switch_cost(
         CopyStrategy::ValidOnly,
         &cfg,
@@ -82,8 +73,13 @@ fn main() {
     opts.emit("overheads_switch", &t2);
 
     // -- measured overhead vs quantum ------------------------------------
-    let measured_full =
-        switch_overhead_run(16, CopyStrategy::Full, SwitchStrategy::GangFlush, 5, opts.seed);
+    let measured_full = switch_overhead_run(
+        16,
+        CopyStrategy::Full,
+        SwitchStrategy::GangFlush,
+        5,
+        opts.seed,
+    );
     let measured_valid = switch_overhead_run(
         16,
         CopyStrategy::ValidOnly,

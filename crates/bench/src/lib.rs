@@ -41,9 +41,7 @@ impl HarnessOpts {
             match a.as_str() {
                 "--full" => opts.full = true,
                 "--csv" => {
-                    opts.csv = Some(PathBuf::from(
-                        args.next().expect("--csv needs a directory"),
-                    ));
+                    opts.csv = Some(PathBuf::from(args.next().expect("--csv needs a directory")));
                 }
                 "--seed" => {
                     opts.seed = args
@@ -83,17 +81,16 @@ where
     F: Fn(&P) -> R + Sync,
 {
     let mut out: Vec<Option<R>> = params.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (i, p) in params.iter().enumerate() {
             let fref = &f;
-            handles.push((i, s.spawn(move |_| fref(p))));
+            handles.push((i, s.spawn(move || fref(p))));
         }
         for (i, h) in handles {
             out[i] = Some(h.join().expect("sweep worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     out.into_iter().map(Option::unwrap).collect()
 }
 

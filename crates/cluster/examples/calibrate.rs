@@ -9,7 +9,8 @@ fn main() {
         println!("== fig5: MB/s by (contexts, msgsize) ==");
         for n in [1usize, 2, 3, 4, 5, 6, 7, 8] {
             let mut row = format!("n={n} (C0={}):", {
-                let c = fig5_cell(n, 64, 10, 1); c.credits
+                let c = fig5_cell(n, 64, 10, 1);
+                c.credits
             });
             for sz in [64u64, 1024, 16384, 65536] {
                 let count = if sz <= 1024 { 2000 } else { 300 };
@@ -33,8 +34,15 @@ fn main() {
     if arg.is_empty() || arg == "fig7" {
         println!("== fig7/8/9 by nodes ==");
         for nodes in [2usize, 4, 8, 16] {
-            let full = switch_overhead_run(nodes, CopyStrategy::Full, SwitchStrategy::GangFlush, 6, 1);
-            let valid = switch_overhead_run(nodes, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 6, 1);
+            let full =
+                switch_overhead_run(nodes, CopyStrategy::Full, SwitchStrategy::GangFlush, 6, 1);
+            let valid = switch_overhead_run(
+                nodes,
+                CopyStrategy::ValidOnly,
+                SwitchStrategy::GangFlush,
+                6,
+                1,
+            );
             let (h, b, r) = full.ledger.mean_stages();
             let (h2, b2, r2) = valid.ledger.mean_stages();
             println!("N={nodes:>2} full: halt={h:>9.0} bswitch={b:>10.0} release={r:>9.0} | valid: halt={h2:>9.0} bswitch={b2:>9.0} release={r2:>9.0} | occ send={:.1} recv={:.1}",

@@ -1,4 +1,11 @@
 //! The cluster simulation's event alphabet and auxiliary event payloads.
+//!
+//! Events are grouped per subsystem — [`DaemonEvent`], [`NicEvent`],
+//! [`AppEvent`], [`SwitchEvent`], [`FmEvent`] — and the top-level
+//! [`Event`] is a thin wrapper routing each group to its handler (see
+//! [`crate::handlers`]). Handlers construct the sub-enum variants and
+//! emit them through the typed [`crate::bus::Bus`], which lifts them into
+//! `Event` via the `From` impls below.
 
 use fastmsg::packet::Packet;
 use hostsim::process::Pid;
@@ -55,10 +62,9 @@ pub enum HostOp {
     InitStep,
 }
 
-/// The discrete events driving the world.
+/// Control-plane events: the masterd, the nodeds, and their timers.
 #[derive(Debug, Clone)]
-pub enum Event {
-    // ---- control plane -------------------------------------------------
+pub enum DaemonEvent {
     /// The masterd's quantum timer fired.
     QuantumExpired,
     /// A node's *local* scheduler timer fired (uncoordinated mode only).
@@ -86,8 +92,11 @@ pub enum Event {
         /// The command being executed.
         cmd: NodedCmd,
     },
+}
 
-    // ---- data plane ----------------------------------------------------
+/// Data-plane events: the LANai send/receive engines and the wire.
+#[derive(Debug, Clone)]
+pub enum NicEvent {
     /// A frame fully arrived at its destination NIC.
     FrameArrive {
         /// Destination node.
@@ -118,8 +127,11 @@ pub enum Event {
         /// The node.
         node: usize,
     },
+}
 
-    // ---- host ----------------------------------------------------------
+/// Application events: process scheduling and host-CPU work items.
+#[derive(Debug, Clone)]
+pub enum AppEvent {
     /// Try to advance a process's program (it was unblocked or resumed).
     ProcKick {
         /// The node.
@@ -136,17 +148,116 @@ pub enum Event {
         /// What completed.
         op: HostOp,
     },
+}
+
+/// Gang-switch events: the three-phase buffer switch.
+#[derive(Debug, Clone)]
+pub enum SwitchEvent {
     /// The buffer-switch copy completed on a node.
     CopyDone {
         /// The node.
         node: usize,
     },
+}
+
+/// FM endpoint-residency events (CachedEndpoints policy).
+#[derive(Debug, Clone)]
+pub enum FmEvent {
     /// An endpoint fault (save victim + restore faulted endpoint)
-    /// completed on a node (CachedEndpoints policy).
+    /// completed on a node.
     FaultDone {
         /// The node.
         node: usize,
         /// The job whose endpoint was faulted in.
         job: u32,
     },
+}
+
+/// The discrete events driving the world: one wrapper variant per
+/// subsystem handler.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Control plane → [`crate::handlers::DaemonHandler`].
+    Daemon(DaemonEvent),
+    /// Data plane → [`crate::handlers::NicHandler`].
+    Nic(NicEvent),
+    /// Processes → [`crate::handlers::AppHandler`].
+    App(AppEvent),
+    /// Gang switch → [`crate::handlers::SwitchHandler`].
+    Switch(SwitchEvent),
+    /// Endpoint residency → [`crate::handlers::FmHandler`].
+    Fm(FmEvent),
+}
+
+impl From<DaemonEvent> for Event {
+    fn from(e: DaemonEvent) -> Event {
+        Event::Daemon(e)
+    }
+}
+impl From<NicEvent> for Event {
+    fn from(e: NicEvent) -> Event {
+        Event::Nic(e)
+    }
+}
+impl From<AppEvent> for Event {
+    fn from(e: AppEvent) -> Event {
+        Event::App(e)
+    }
+}
+impl From<SwitchEvent> for Event {
+    fn from(e: SwitchEvent) -> Event {
+        Event::Switch(e)
+    }
+}
+impl From<FmEvent> for Event {
+    fn from(e: FmEvent) -> Event {
+        Event::Fm(e)
+    }
+}
+
+/// Stable event-kind names for the engine's dispatch counters and run
+/// digest, indexed by [`Event::kind_index`].
+///
+/// The indices are part of the run-digest contract: reordering them (or the
+/// match below) silently changes every digest, so determinism tests can no
+/// longer compare against recorded values. They predate the sub-enum split
+/// (the golden digests in `tests/determinism.rs` were recorded against the
+/// monolithic enum) — append, don't reorder.
+pub const KIND_NAMES: &[&str] = &[
+    "quantum_expired",
+    "node_tick",
+    "ctrl_to_node",
+    "ctrl_to_master",
+    "noded_act",
+    "frame_arrive",
+    "send_engine_done",
+    "recv_engine_done",
+    "halt_bcast_done",
+    "ready_bcast_done",
+    "proc_kick",
+    "host_op_done",
+    "copy_done",
+    "fault_done",
+];
+
+impl Event {
+    /// The event's stable kind index into [`KIND_NAMES`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::Daemon(DaemonEvent::QuantumExpired) => 0,
+            Event::Daemon(DaemonEvent::NodeTick { .. }) => 1,
+            Event::Daemon(DaemonEvent::CtrlToNode { .. }) => 2,
+            Event::Daemon(DaemonEvent::CtrlToMaster { .. }) => 3,
+            Event::Daemon(DaemonEvent::NodedAct { .. }) => 4,
+            Event::Nic(NicEvent::FrameArrive { .. }) => 5,
+            Event::Nic(NicEvent::SendEngineDone { .. }) => 6,
+            Event::Nic(NicEvent::RecvEngineDone { .. }) => 7,
+            Event::Nic(NicEvent::HaltBroadcastDone { .. }) => 8,
+            Event::Nic(NicEvent::ReadyBroadcastDone { .. }) => 9,
+            Event::App(AppEvent::ProcKick { .. }) => 10,
+            Event::App(AppEvent::HostOpDone { .. }) => 11,
+            Event::Switch(SwitchEvent::CopyDone { .. }) => 12,
+            Event::Fm(FmEvent::FaultDone { .. }) => 13,
+        }
+    }
 }

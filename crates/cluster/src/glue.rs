@@ -19,7 +19,9 @@ use gang_comm::sequencer::SwitchPhase;
 use sim_core::engine::Scheduler;
 use sim_core::time::SimTime;
 
-use crate::event::Event;
+use crate::bus::Bus;
+use crate::event::{Event, SwitchEvent};
+use crate::handlers::{AppHandler, NicHandler, SwitchHandler};
 use crate::world::World;
 
 impl World {
@@ -118,7 +120,7 @@ impl World {
         &mut self,
         now: SimTime,
         node: usize,
-        sched: &mut Scheduler<Event>,
+        bus: &mut Bus,
     ) -> Result<(), CommError> {
         let n = &mut self.nodes[node];
         if n.seq.phase() != SwitchPhase::Halting {
@@ -128,7 +130,7 @@ impl World {
         n.halt_broadcast_started = false;
         n.nic.set_halt_bit(true);
         if !n.send_engine_busy {
-            self.begin_halt_broadcast(now, node, sched);
+            self.begin_halt_broadcast(now, node, bus);
         }
         Ok(())
     }
@@ -140,7 +142,7 @@ impl World {
         &mut self,
         now: SimTime,
         node: usize,
-        sched: &mut Scheduler<Event>,
+        bus: &mut Bus,
     ) -> Result<(), CommError> {
         if self.nodes[node].seq.phase() != SwitchPhase::Copying {
             return Err(CommError::BadPhase);
@@ -151,7 +153,7 @@ impl World {
         };
         let cost = self.copy_cost_for(node, from, to);
         let r = self.nodes[node].cpu.reserve(now, cost);
-        sched.at(r.end, Event::CopyDone { node });
+        bus.emit(r.end, SwitchEvent::CopyDone { node });
         Ok(())
     }
 
@@ -162,12 +164,12 @@ impl World {
         &mut self,
         now: SimTime,
         node: usize,
-        sched: &mut Scheduler<Event>,
+        bus: &mut Bus,
     ) -> Result<(), CommError> {
         if self.nodes[node].seq.phase() != SwitchPhase::Releasing {
             return Err(CommError::BadPhase);
         }
-        self.begin_ready_broadcast(now, node, sched);
+        self.begin_ready_broadcast(now, node, bus);
         Ok(())
     }
 }
@@ -219,7 +221,8 @@ impl CommManager for GlueFm<'_> {
     }
 
     fn halt_network(&mut self, now: SimTime) -> Result<(), CommError> {
-        self.world.comm_halt_network(now, self.node, self.sched)
+        self.world
+            .comm_halt_network(now, self.node, &mut Bus::new(self.sched))
     }
 
     fn context_switch(
@@ -228,10 +231,12 @@ impl CommManager for GlueFm<'_> {
         _from: Option<CommJob>,
         _to: Option<CommJob>,
     ) -> Result<(), CommError> {
-        self.world.comm_context_switch(now, self.node, self.sched)
+        self.world
+            .comm_context_switch(now, self.node, &mut Bus::new(self.sched))
     }
 
     fn release_network(&mut self, now: SimTime) -> Result<(), CommError> {
-        self.world.comm_release_network(now, self.node, self.sched)
+        self.world
+            .comm_release_network(now, self.node, &mut Bus::new(self.sched))
     }
 }

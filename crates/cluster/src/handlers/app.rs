@@ -1,15 +1,16 @@
-//! Host-side process execution: FM_initialize, FM_send fragmentation,
-//! FM_extract, compute, and program completion.
+//! Application handler: FM_initialize, FM_send fragmentation, FM_extract,
+//! compute, and program completion on the host CPUs.
 
 use fastmsg::init::InitStep;
 use fastmsg::packet::{fragment_payload, fragments_for, Packet, HEADER_BYTES};
 use hostsim::process::{Pid, Signal};
 use parpar::protocol::MasterMsg;
-use sim_core::engine::Scheduler;
 use sim_core::time::{Cycles, SimTime};
 use sim_core::trace::Category;
 
-use crate::event::{Event, HostOp};
+use crate::bus::Bus;
+use crate::event::{AppEvent, DaemonEvent, HostOp};
+use crate::handlers::{AppHandler, FmHandler, NicHandler};
 use crate::procsim::{BlockReason, ProcPhase, SendProgress};
 use crate::world::World;
 
@@ -21,19 +22,19 @@ enum Step {
     Park,
 }
 
-impl World {
-    /// Advance a process as far as it can go right now.
-    pub(crate) fn proc_kick(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        sched: &mut Scheduler<Event>,
-    ) {
+impl AppHandler for World {
+    fn on_app(&mut self, now: SimTime, ev: AppEvent, bus: &mut Bus) {
+        match ev {
+            AppEvent::ProcKick { node, pid } => self.proc_kick(now, node, pid, bus),
+            AppEvent::HostOpDone { node, pid, op } => self.on_host_op_done(now, node, pid, op, bus),
+        }
+    }
+
+    fn proc_kick(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) {
         // Every Continue makes observable progress (an op consumed, a block
         // cleared); the bound is a livelock tripwire, not a budget.
         for _ in 0..1_000_000 {
-            match self.proc_step(now, node, pid, sched) {
+            match self.proc_step(now, node, pid, bus) {
                 Step::Continue => continue,
                 Step::Park => return,
             }
@@ -41,13 +42,60 @@ impl World {
         panic!("process {pid} on node {node} livelocked (program makes no progress)");
     }
 
-    fn proc_step(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        sched: &mut Scheduler<Event>,
-    ) -> Step {
+    fn try_end_job(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) {
+        let n = &mut self.nodes[node];
+        let Some(proc) = n.apps.get(&pid) else {
+            return;
+        };
+        if proc.phase != ProcPhase::Finished || proc.finished_at.is_none() {
+            return;
+        }
+        let job = proc.job;
+        if let Some(ctx_id) = n.nic.find_context(job.0) {
+            if !n.nic.context(ctx_id).unwrap().send_q.is_empty() {
+                return; // drained later; SendEngineDone retries
+            }
+        } else if !n.backing.contains(pid) {
+            return; // already torn down
+        }
+        // COMM_end_job: release the context / backing entry.
+        self.comm_end_job(now, node, job.0, pid)
+            .expect("end_job: context vanished");
+        let n = &mut self.nodes[node];
+        n.procs.signal(pid, Signal::Kill);
+        n.noded.remove_job(job);
+        let t = self.ctrl.unicast_to_master(now);
+        bus.emit(
+            t,
+            DaemonEvent::CtrlToMaster {
+                msg: MasterMsg::JobFinished { job, node },
+            },
+        );
+    }
+
+    fn drain_pending_refills(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        let pids: Vec<Pid> = self.nodes[node]
+            .apps
+            .iter()
+            .filter(|(_, p)| !p.pending_refills.is_empty() && p.phase != ProcPhase::Finished)
+            .map(|(pid, _)| *pid)
+            .collect();
+        for pid in pids {
+            let pending: Vec<(usize, usize)> = {
+                let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+                std::mem::take(&mut proc.pending_refills)
+                    .into_iter()
+                    .collect()
+            };
+            for (peer, k) in pending {
+                self.queue_refill(now, node, pid, peer, k, bus);
+            }
+        }
+    }
+}
+
+impl World {
+    fn proc_step(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) -> Step {
         let n = &mut self.nodes[node];
         let Some(proc) = n.apps.get_mut(&pid) else {
             return Step::Park;
@@ -86,12 +134,12 @@ impl World {
                     // fault that unblocked us was served: re-raise it.
                     let job = self.nodes[node].apps[&pid].fm.job;
                     if self.nodes[node].apps[&pid].deferred_pkt.is_none() {
-                        self.begin_fault(now, node, job, sched);
+                        self.begin_fault(now, node, job, bus);
                     }
                     return Step::Park;
                 }
                 if !matches!(b, BlockReason::PipeRead) {
-                    self.try_start_extract(now, node, pid, sched);
+                    self.try_start_extract(now, node, pid, bus);
                 }
                 return Step::Park;
             }
@@ -105,9 +153,9 @@ impl World {
                 let r = self.nodes[node]
                     .cpu
                     .reserve(now, self.cfg.host_costs.pipe_read);
-                sched.at(
+                bus.emit(
                     r.end,
-                    Event::HostOpDone {
+                    AppEvent::HostOpDone {
                         node,
                         pid,
                         op: HostOp::InitStep,
@@ -120,11 +168,11 @@ impl World {
         }
 
         if proc.phase == ProcPhase::Initializing {
-            return self.init_step(now, node, pid, sched);
+            return self.init_step(now, node, pid, bus);
         }
 
         if proc.sending.is_some() {
-            return self.advance_send(now, node, pid, sched);
+            return self.advance_send(now, node, pid, bus);
         }
 
         // Ask the program for the next op.
@@ -155,16 +203,16 @@ impl World {
                     return Step::Continue;
                 }
                 proc.blocked = Some(BlockReason::RecvWait { target });
-                self.try_start_extract(now, node, pid, sched);
+                self.try_start_extract(now, node, pid, bus);
                 Step::Park
             }
             workloads::program::Op::Compute(c) => {
                 let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
                 proc.busy = true;
                 let r = self.nodes[node].cpu.reserve(now, c);
-                sched.at(
+                bus.emit(
                     r.end,
-                    Event::HostOpDone {
+                    AppEvent::HostOpDone {
                         node,
                         pid,
                         op: HostOp::ComputeDone,
@@ -173,28 +221,22 @@ impl World {
                 Step::Park
             }
             workloads::program::Op::Done => {
-                self.finish_proc(now, node, pid, sched);
+                self.finish_proc(now, node, pid, bus);
                 Step::Park
             }
         }
     }
 
     /// Drive one FM_initialize step.
-    fn init_step(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        sched: &mut Scheduler<Event>,
-    ) -> Step {
+    fn init_step(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) -> Step {
         let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
         match proc.init.advance() {
             InitStep::HostWork(c) => {
                 proc.busy = true;
                 let r = self.nodes[node].cpu.reserve(now, c);
-                sched.at(
+                bus.emit(
                     r.end,
-                    Event::HostOpDone {
+                    AppEvent::HostOpDone {
                         node,
                         pid,
                         op: HostOp::InitStep,
@@ -208,9 +250,9 @@ impl World {
                 // turnaround.
                 proc.busy = true;
                 let rtt = Cycles::from_us(1500);
-                sched.at(
+                bus.emit(
                     now + rtt,
-                    Event::HostOpDone {
+                    AppEvent::HostOpDone {
                         node,
                         pid,
                         op: HostOp::InitStep,
@@ -227,9 +269,9 @@ impl World {
                     let r = self.nodes[node]
                         .cpu
                         .reserve(now, self.cfg.host_costs.pipe_read);
-                    sched.at(
+                    bus.emit(
                         r.end,
-                        Event::HostOpDone {
+                        AppEvent::HostOpDone {
                             node,
                             pid,
                             op: HostOp::InitStep,
@@ -258,16 +300,12 @@ impl World {
     }
 
     /// Try to inject the next fragment of the in-progress message.
-    fn advance_send(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        sched: &mut Scheduler<Event>,
-    ) -> Step {
+    fn advance_send(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) -> Step {
         let n = &mut self.nodes[node];
         let proc = n.apps.get_mut(&pid).unwrap();
-        let sp = proc.sending.expect("advance_send without a send in progress");
+        let sp = proc
+            .sending
+            .expect("advance_send without a send in progress");
         if sp.next_frag == sp.nfrags {
             proc.sending = None;
             return Step::Continue;
@@ -276,7 +314,7 @@ impl World {
         if !proc.fm.flow.can_send(dst_host) {
             proc.fm.flow.consume(dst_host); // records the stall
             proc.blocked = Some(BlockReason::Credits { peer: dst_host });
-            self.try_start_extract(now, node, pid, sched);
+            self.try_start_extract(now, node, pid, bus);
             return Step::Park;
         }
         let job = proc.fm.job;
@@ -289,12 +327,12 @@ impl World {
             );
             let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
             proc.blocked = Some(BlockReason::ContextFault);
-            self.begin_fault(now, node, job, sched);
+            self.begin_fault(now, node, job, bus);
             return Step::Park;
         };
         if n.nic.context(ctx_id).unwrap().send_q.is_full() {
             proc.blocked = Some(BlockReason::SendSpace);
-            self.try_start_extract(now, node, pid, sched);
+            self.try_start_extract(now, node, pid, bus);
             return Step::Park;
         }
         assert!(proc.fm.flow.consume(dst_host), "checked can_send above");
@@ -305,9 +343,9 @@ impl World {
         }
         proc.busy = true;
         let r = n.cpu.reserve(now, cost);
-        sched.at(
+        bus.emit(
             r.end,
-            Event::HostOpDone {
+            AppEvent::HostOpDone {
                 node,
                 pid,
                 op: HostOp::SendFragment,
@@ -318,35 +356,40 @@ impl World {
 
     /// Start extracting one packet if the process may and the queue has
     /// any. (FM_extract: explicit polling, handler runs in place.)
-    pub(crate) fn try_start_extract(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn try_start_extract(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) {
+        let (job, ctx_id) = {
+            let n = &mut self.nodes[node];
+            let Some(proc) = n.apps.get_mut(&pid) else {
+                return;
+            };
+            if proc.busy
+                || proc.phase != ProcPhase::Running
+                || !n.procs.get(pid).is_some_and(|p| p.is_active())
+            {
+                return;
+            }
+            let job = proc.fm.job;
+            (job, n.nic.find_context(job))
+        };
+        let Some(ctx_id) = ctx_id else {
+            // Under VN caching the poll itself is an endpoint access: a
+            // non-resident endpoint faults in, exactly like a send would
+            // (otherwise a receiver whose endpoint was evicted — with its
+            // pending packets saved to backing store — waits forever).
+            if self.vn_active() {
+                self.begin_fault(now, node, job, bus);
+            }
+            return;
+        };
         let n = &mut self.nodes[node];
-        let Some(proc) = n.apps.get_mut(&pid) else {
-            return;
-        };
-        if proc.busy
-            || proc.phase != ProcPhase::Running
-            || !n.procs.get(pid).is_some_and(|p| p.is_active())
-        {
-            return;
-        }
-        let job = proc.fm.job;
-        let Some(ctx_id) = n.nic.find_context(job) else {
-            return;
-        };
         let Some(pkt) = n.nic.context_mut(ctx_id).unwrap().recv_q.pop() else {
             return;
         };
-        proc.busy = true;
+        n.apps.get_mut(&pid).unwrap().busy = true;
         let r = n.cpu.reserve(now, self.cfg.fm_costs.extract_per_packet);
-        sched.at(
+        bus.emit(
             r.end,
-            Event::HostOpDone {
+            AppEvent::HostOpDone {
                 node,
                 pid,
                 op: HostOp::Extract(pkt),
@@ -355,14 +398,7 @@ impl World {
     }
 
     /// A host work item completed.
-    pub(crate) fn on_host_op_done(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        op: HostOp,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn on_host_op_done(&mut self, now: SimTime, node: usize, pid: Pid, op: HostOp, bus: &mut Bus) {
         {
             let proc = self.nodes[node]
                 .apps
@@ -371,21 +407,15 @@ impl World {
             proc.busy = false;
         }
         match op {
-            HostOp::SendFragment => self.complete_send_fragment(now, node, pid, sched),
-            HostOp::Extract(pkt) => self.complete_extract(now, node, pid, pkt, sched),
+            HostOp::SendFragment => self.complete_send_fragment(now, node, pid, bus),
+            HostOp::Extract(pkt) => self.complete_extract(now, node, pid, pkt, bus),
             HostOp::ComputeDone | HostOp::InitStep => {
-                self.proc_kick(now, node, pid, sched);
+                self.proc_kick(now, node, pid, bus);
             }
         }
     }
 
-    fn complete_send_fragment(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn complete_send_fragment(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) {
         let n = &mut self.nodes[node];
         let proc = n.apps.get_mut(&pid).unwrap();
         let sp = proc
@@ -406,7 +436,7 @@ impl World {
             assert!(proc.deferred_pkt.is_none());
             proc.deferred_pkt = Some(pkt);
             proc.blocked = Some(BlockReason::ContextFault);
-            self.begin_fault(now, node, job, sched);
+            self.begin_fault(now, node, job, bus);
             return;
         };
         n.nic
@@ -416,8 +446,8 @@ impl World {
             .push(pkt)
             .expect("send queue overflowed despite the space check");
         self.vn_touch(now, node, job);
-        self.kick_send_engine(now, node, sched);
-        self.proc_kick(now, node, pid, sched);
+        self.kick_send_engine(now, node, bus);
+        self.proc_kick(now, node, pid, bus);
     }
 
     fn complete_extract(
@@ -426,7 +456,7 @@ impl World {
         node: usize,
         pid: Pid,
         pkt: Packet,
-        sched: &mut Scheduler<Event>,
+        bus: &mut Bus,
     ) {
         let payload = pkt.payload as u64;
         let (job, refill_due) = {
@@ -442,34 +472,31 @@ impl World {
             .or_default()
             .record(now, payload);
         if let Some((peer, k)) = refill_due {
-            self.queue_refill(now, node, pid, peer, k, sched);
+            self.queue_refill(now, node, pid, peer, k, bus);
         }
-        self.proc_kick(now, node, pid, sched);
+        self.proc_kick(now, node, pid, bus);
     }
 
     /// Emit a dedicated refill packet (or defer it if the send queue is
     /// momentarily full).
-    pub(crate) fn queue_refill(
+    fn queue_refill(
         &mut self,
         now: SimTime,
         node: usize,
         pid: Pid,
         peer: usize,
         credits: usize,
-        sched: &mut Scheduler<Event>,
+        bus: &mut Bus,
     ) {
         let n = &mut self.nodes[node];
         let proc = n.apps.get_mut(&pid).unwrap();
         let job = proc.fm.job;
-        let ctx = n
-            .nic
-            .find_context(job)
-            .and_then(|c| n.nic.context_mut(c));
+        let ctx = n.nic.find_context(job).and_then(|c| n.nic.context_mut(c));
         match ctx {
             Some(ctx) if !ctx.send_q.is_full() => {
                 let pkt = proc.fm.make_refill(peer, credits);
                 ctx.send_q.push(pkt).unwrap();
-                self.kick_send_engine(now, node, sched);
+                self.kick_send_engine(now, node, bus);
             }
             _ => {
                 *proc.pending_refills.entry(peer).or_insert(0) += credits;
@@ -477,39 +504,9 @@ impl World {
         }
     }
 
-    /// Retry deferred refills once send-queue space frees up.
-    pub(crate) fn drain_pending_refills(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        sched: &mut Scheduler<Event>,
-    ) {
-        let pids: Vec<Pid> = self.nodes[node]
-            .apps
-            .iter()
-            .filter(|(_, p)| !p.pending_refills.is_empty() && p.phase != ProcPhase::Finished)
-            .map(|(pid, _)| *pid)
-            .collect();
-        for pid in pids {
-            let pending: Vec<(usize, usize)> = {
-                let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
-                std::mem::take(&mut proc.pending_refills).into_iter().collect()
-            };
-            for (peer, k) in pending {
-                self.queue_refill(now, node, pid, peer, k, sched);
-            }
-        }
-    }
-
     /// The program returned Done: tear the process down (COMM_end_job),
     /// deferring until its send queue drains.
-    pub(crate) fn finish_proc(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn finish_proc(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) {
         {
             let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
             proc.phase = ProcPhase::Finished;
@@ -518,45 +515,6 @@ impl World {
         }
         self.trace
             .emit(now, Category::App, Some(node), || format!("{pid} done"));
-        self.try_end_job(now, node, pid, sched);
-    }
-
-    /// Complete COMM_end_job once the context's send queue is empty (its
-    /// last packets — e.g. the p2p finish message — must reach the wire).
-    pub(crate) fn try_end_job(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: Pid,
-        sched: &mut Scheduler<Event>,
-    ) {
-        let n = &mut self.nodes[node];
-        let Some(proc) = n.apps.get(&pid) else {
-            return;
-        };
-        if proc.phase != ProcPhase::Finished || proc.finished_at.is_none() {
-            return;
-        }
-        let job = proc.job;
-        if let Some(ctx_id) = n.nic.find_context(job.0) {
-            if !n.nic.context(ctx_id).unwrap().send_q.is_empty() {
-                return; // drained later; SendEngineDone retries
-            }
-        } else if !n.backing.contains(pid) {
-            return; // already torn down
-        }
-        // COMM_end_job: release the context / backing entry.
-        self.comm_end_job(now, node, job.0, pid)
-            .expect("end_job: context vanished");
-        let n = &mut self.nodes[node];
-        n.procs.signal(pid, Signal::Kill);
-        n.noded.remove_job(job);
-        let t = self.ctrl.unicast_to_master(now);
-        sched.at(
-            t,
-            Event::CtrlToMaster {
-                msg: MasterMsg::JobFinished { job, node },
-            },
-        );
+        self.try_end_job(now, node, pid, bus);
     }
 }

@@ -1,88 +1,31 @@
-//! Control-plane event handlers: quantum rotation, daemon message
-//! delivery, job loading (paper Fig. 2), and the switch kickoff.
+//! Control-plane handler: quantum rotation, daemon message delivery, job
+//! loading (paper Fig. 2), and the switch kickoff.
 
 use fastmsg::proc::FmProcess;
 use gang_comm::state::SavedCommState;
-use hostsim::process::Signal;
+use hostsim::process::{Pid, Signal};
 use parpar::protocol::{MasterMsg, NodedCmd};
-use sim_core::engine::Scheduler;
 use sim_core::time::{Cycles, SimTime};
 use sim_core::trace::Category;
 
-use crate::event::Event;
+use crate::bus::Bus;
+use crate::event::{AppEvent, DaemonEvent};
+use crate::handlers::{DaemonHandler, SlotView, SwitchHandler};
 use crate::procsim::{ProcPhase, ProcSim};
 use crate::world::World;
 
-impl World {
-    /// The masterd's quantum timer fired: rotate if there is anything to
-    /// rotate to, and rearm the timer.
-    pub(crate) fn on_quantum_expired(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
-        if let Some(order) = self.master.quantum_expired() {
-            self.trace.emit(now, Category::Gang, None, || {
-                format!(
-                    "quantum expired: switch epoch {} slot {} -> {}",
-                    order.epoch, order.from, order.to
-                )
-            });
-            let deliver = self.ctrl.multicast(now);
-            for node in 0..self.cfg.nodes {
-                sched.at(
-                    deliver,
-                    Event::CtrlToNode {
-                        node,
-                        cmd: NodedCmd::SwitchSlot {
-                            epoch: order.epoch,
-                            from: order.from,
-                            to: order.to,
-                        },
-                    },
-                );
-            }
-        }
-        if self.cfg.auto_rotate {
-            sched.at(now + self.cfg.quantum, Event::QuantumExpired);
+impl DaemonHandler for World {
+    fn on_daemon(&mut self, now: SimTime, ev: DaemonEvent, bus: &mut Bus) {
+        match ev {
+            DaemonEvent::QuantumExpired => self.on_quantum_expired(now, bus),
+            DaemonEvent::NodeTick { node } => self.on_node_tick(now, node, bus),
+            DaemonEvent::CtrlToNode { node, cmd } => self.on_ctrl_to_node(now, node, cmd, bus),
+            DaemonEvent::CtrlToMaster { msg } => self.on_ctrl_to_master(now, msg, bus),
+            DaemonEvent::NodedAct { node, cmd } => self.on_noded_act(now, node, cmd, bus),
         }
     }
 
-    /// A node-local scheduler tick (uncoordinated mode): rotate this
-    /// node's processes without any cluster-wide coordination.
-    pub(crate) fn on_node_tick(&mut self, now: SimTime, node: usize, sched: &mut Scheduler<Event>) {
-        debug_assert!(!self.cfg.gang_scheduling);
-        let n = &mut self.nodes[node];
-        let slots: Vec<usize> = n.noded.assignments().map(|(s, _, _)| s).collect();
-        if slots.len() > 1 || (slots.len() == 1 && slots[0] != n.noded.current_slot) {
-            let cur = n.noded.current_slot;
-            let next = slots
-                .iter()
-                .copied()
-                .find(|&s| s > cur)
-                .unwrap_or(slots[0]);
-            if next != cur {
-                if let Some((_, pid)) = n.noded.in_slot(cur) {
-                    n.procs.signal(pid, Signal::Stop);
-                }
-                n.noded.current_slot = next;
-                if let Some((_, pid)) = n.noded.in_slot(next) {
-                    n.procs.signal(pid, Signal::Cont);
-                    sched.at(
-                        now + self.cfg.host_costs.signal,
-                        Event::ProcKick { node, pid },
-                    );
-                }
-            }
-        }
-        sched.at(now + self.cfg.quantum, Event::NodeTick { node });
-    }
-
-    /// Dynamic coscheduling: deschedule whoever runs and schedule the
-    /// process an incoming message is destined to (related work [12]).
-    pub(crate) fn dynamic_cosched_preempt(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pid: hostsim::process::Pid,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn dynamic_cosched_preempt(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) {
         let n = &mut self.nodes[node];
         let Some(target_slot) = n.apps.get(&pid).map(|p| p.slot) else {
             return;
@@ -95,21 +38,73 @@ impl World {
         }
         n.noded.current_slot = target_slot;
         n.procs.signal(pid, Signal::Cont);
-        sched.at(
+        bus.emit(
             now + self.cfg.host_costs.signal,
-            Event::ProcKick { node, pid },
+            AppEvent::ProcKick { node, pid },
         );
+    }
+}
+
+impl World {
+    /// The masterd's quantum timer fired: rotate if there is anything to
+    /// rotate to, and rearm the timer.
+    fn on_quantum_expired(&mut self, now: SimTime, bus: &mut Bus) {
+        if let Some(order) = self.master.quantum_expired() {
+            self.trace.emit(now, Category::Gang, None, || {
+                format!(
+                    "quantum expired: switch epoch {} slot {} -> {}",
+                    order.epoch, order.from, order.to
+                )
+            });
+            let deliver = self.ctrl.multicast(now);
+            for node in 0..self.cfg.nodes {
+                bus.emit(
+                    deliver,
+                    DaemonEvent::CtrlToNode {
+                        node,
+                        cmd: NodedCmd::SwitchSlot {
+                            epoch: order.epoch,
+                            from: order.from,
+                            to: order.to,
+                        },
+                    },
+                );
+            }
+        }
+        if self.cfg.auto_rotate {
+            bus.emit(now + self.cfg.quantum, DaemonEvent::QuantumExpired);
+        }
+    }
+
+    /// A node-local scheduler tick (uncoordinated mode): rotate this
+    /// node's processes without any cluster-wide coordination.
+    fn on_node_tick(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        debug_assert!(!self.cfg.gang_scheduling);
+        let n = &mut self.nodes[node];
+        let slots: Vec<usize> = n.noded.assignments().map(|(s, _, _)| s).collect();
+        if slots.len() > 1 || (slots.len() == 1 && slots[0] != n.noded.current_slot) {
+            let cur = n.noded.current_slot;
+            let next = slots.iter().copied().find(|&s| s > cur).unwrap_or(slots[0]);
+            if next != cur {
+                if let Some((_, pid)) = n.noded.in_slot(cur) {
+                    n.procs.signal(pid, Signal::Stop);
+                }
+                n.noded.current_slot = next;
+                if let Some((_, pid)) = n.noded.in_slot(next) {
+                    n.procs.signal(pid, Signal::Cont);
+                    bus.emit(
+                        now + self.cfg.host_costs.signal,
+                        AppEvent::ProcKick { node, pid },
+                    );
+                }
+            }
+        }
+        bus.emit(now + self.cfg.quantum, DaemonEvent::NodeTick { node });
     }
 
     /// A masterd command was delivered to a node's socket: the noded wakes
     /// up after its scheduling jitter and dispatch cost.
-    pub(crate) fn on_ctrl_to_node(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        cmd: NodedCmd,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn on_ctrl_to_node(&mut self, now: SimTime, node: usize, cmd: NodedCmd, bus: &mut Bus) {
         let jmax = self.cfg.host_costs.daemon_jitter_max.raw();
         let jitter = if jmax == 0 {
             Cycles::ZERO
@@ -117,16 +112,11 @@ impl World {
             Cycles(self.rng.below(jmax + 1))
         };
         let delay = self.cfg.host_costs.daemon_dispatch + jitter;
-        sched.at(now + delay, Event::NodedAct { node, cmd });
+        bus.emit(now + delay, DaemonEvent::NodedAct { node, cmd });
     }
 
     /// A noded report reached the masterd.
-    pub(crate) fn on_ctrl_to_master(
-        &mut self,
-        now: SimTime,
-        msg: MasterMsg,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn on_ctrl_to_master(&mut self, now: SimTime, msg: MasterMsg, bus: &mut Bus) {
         match msg {
             MasterMsg::ProcStarted { job, node } => {
                 if let Some(cmds) = self.master.on_proc_started(job, node) {
@@ -136,7 +126,7 @@ impl World {
                         .emit(now, Category::Gang, None, || format!("{job} all up"));
                     for (n, cmd) in cmds {
                         let t = self.ctrl.unicast_to_node(now);
-                        sched.at(t, Event::CtrlToNode { node: n, cmd });
+                        bus.emit(t, DaemonEvent::CtrlToNode { node: n, cmd });
                     }
                 }
             }
@@ -157,7 +147,7 @@ impl World {
                             .queued_programs
                             .pop_front()
                             .expect("queued programs out of sync with jobrep");
-                        self.dispatch_submission(now, sub, programs, sched);
+                        self.dispatch_submission(now, sub, programs, bus);
                     }
                 }
             }
@@ -165,20 +155,14 @@ impl World {
     }
 
     /// The noded executes a command.
-    pub(crate) fn on_noded_act(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        cmd: NodedCmd,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn on_noded_act(&mut self, now: SimTime, node: usize, cmd: NodedCmd, bus: &mut Bus) {
         match cmd {
             NodedCmd::LoadJob {
                 job,
                 rank,
                 placement,
                 slot,
-            } => self.load_job(now, node, job, rank, placement, slot, sched),
+            } => self.load_job(now, node, job, rank, placement, slot, bus),
             NodedCmd::AllUp { job } => {
                 let Some((_, pid)) = self.noded_lookup(node, job) else {
                     panic!("AllUp for job not on node {node}");
@@ -191,14 +175,14 @@ impl World {
                     format!("sync byte written for {job}")
                 });
                 if wake {
-                    sched.at(
+                    bus.emit(
                         now + self.cfg.host_costs.pipe_write,
-                        Event::ProcKick { node, pid },
+                        AppEvent::ProcKick { node, pid },
                     );
                 }
             }
             NodedCmd::SwitchSlot { epoch, from, to } => {
-                self.start_switch(now, node, epoch, from, to, sched);
+                self.start_switch(now, node, epoch, from, to, bus);
             }
             NodedCmd::KillJob { job } => {
                 if let Some((slot, pid)) = self.nodes[node].noded.remove_job(job) {
@@ -208,12 +192,6 @@ impl World {
                 }
             }
         }
-    }
-
-    fn noded_lookup(&self, node: usize, job: parpar::job::JobId) -> Option<(usize, hostsim::process::Pid)> {
-        let slot = self.nodes[node].noded.slot_of(job)?;
-        let (_, pid) = self.nodes[node].noded.in_slot(slot)?;
-        Some((slot, pid))
     }
 
     /// COMM_init_job + fork + ProcStarted notification (Fig. 2, left).
@@ -226,7 +204,7 @@ impl World {
         rank: usize,
         placement: Vec<usize>,
         slot: usize,
-        sched: &mut Scheduler<Event>,
+        bus: &mut Bus,
     ) {
         let geo = self.cfg.fm.geometry();
         let program = self
@@ -296,12 +274,12 @@ impl World {
         // FM_initialize.
         let after_fork = now + self.cfg.host_costs.fork;
         let t_master = self.ctrl.unicast_to_master(after_fork);
-        sched.at(
+        bus.emit(
             t_master,
-            Event::CtrlToMaster {
+            DaemonEvent::CtrlToMaster {
                 msg: MasterMsg::ProcStarted { job, node },
             },
         );
-        sched.at(after_fork, Event::ProcKick { node, pid });
+        bus.emit(after_fork, AppEvent::ProcKick { node, pid });
     }
 }

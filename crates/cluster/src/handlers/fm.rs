@@ -1,9 +1,9 @@
-//! Virtual-networks endpoint caching (paper §5, Chun/Mainwaring/Culler):
-//! "the solution for the lack of space on the NIC is to cache active
-//! endpoints on the NIC, while moving inactive ones to backing store on
-//! the node computer. This approach … does not create any linkage between
-//! the communication subsystem and the scheduling of communicating
-//! processes."
+//! Endpoint-residency handler — virtual-networks endpoint caching (paper
+//! §5, Chun/Mainwaring/Culler): "the solution for the lack of space on the
+//! NIC is to cache active endpoints on the NIC, while moving inactive ones
+//! to backing store on the node computer. This approach … does not create
+//! any linkage between the communication subsystem and the scheduling of
+//! communicating processes."
 //!
 //! Under `BufferPolicy::CachedEndpoints` the NIC holds up to `k` resident
 //! endpoints (each a 1/k share of the buffers). A send to — or an arrival
@@ -14,16 +14,15 @@
 //! while their endpoint faults in (the VN paper's return-to-sender is
 //! modeled as a drop-notify once parking overflows).
 
-use fastmsg::division::BufferPolicy;
 use gang_comm::state::SavedCommState;
 use gang_comm::switcher;
 use myrinet::broadcast::CONTROL_PACKET_BYTES;
-use sim_core::engine::Scheduler;
 use sim_core::time::{Cycles, SimTime};
 use sim_core::trace::Category;
 
-use crate::event::{Event, Frame};
-use crate::procsim::BlockReason;
+use crate::bus::Bus;
+use crate::event::{AppEvent, FmEvent, Frame, NicEvent};
+use crate::handlers::{AppHandler, FmHandler, NicHandler};
 use crate::world::World;
 
 /// Extra parking beyond one endpoint's receive ring (headroom for refill
@@ -34,28 +33,14 @@ pub const PARKING_HEADROOM: usize = 16;
 /// entry, page lookups).
 pub const FAULT_OVERHEAD: Cycles = Cycles(10_000); // 50 µs
 
-impl World {
-    /// Is the virtual-networks residency policy active?
-    pub(crate) fn vn_active(&self) -> bool {
-        self.cfg.fm.policy == BufferPolicy::CachedEndpoints
-    }
-
-    /// Note activity on `job`'s endpoint (for LRU eviction).
-    pub(crate) fn vn_touch(&mut self, now: SimTime, node: usize, job: u32) {
-        if self.vn_active() {
-            self.nodes[node].lru.insert(job, now);
+impl FmHandler for World {
+    fn on_fm(&mut self, now: SimTime, ev: FmEvent, bus: &mut Bus) {
+        match ev {
+            FmEvent::FaultDone { node, job } => self.on_fault_done(now, node, job, bus),
         }
     }
 
-    /// Request that `job`'s endpoint become resident on `node`. Idempotent;
-    /// queues behind an in-progress fault.
-    pub(crate) fn begin_fault(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        job: u32,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn begin_fault(&mut self, now: SimTime, node: usize, job: u32, bus: &mut Bus) {
         debug_assert!(self.vn_active());
         let n = &mut self.nodes[node];
         if n.nic.find_context(job).is_some() {
@@ -68,10 +53,50 @@ impl World {
             n.fault_queue.push_back(job);
             return;
         }
-        self.start_fault(now, node, job, sched);
+        self.start_fault(now, node, job, bus);
     }
 
-    fn start_fault(&mut self, now: SimTime, node: usize, job: u32, sched: &mut Scheduler<Event>) {
+    fn vn_park_arrival(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pkt: fastmsg::packet::Packet,
+        bus: &mut Bus,
+    ) {
+        let job = pkt.job;
+        // Credits bound each endpoint's in-flight data to its receive-ring
+        // size, so per-endpoint parking of that size never overflows; the
+        // drop path below models the VN paper's return-to-sender for
+        // anything beyond it.
+        let cap = self.cfg.fm.geometry().recv_slots + PARKING_HEADROOM;
+        let n = &mut self.nodes[node];
+        let parked_for_job = n.parked.iter().filter(|p| p.job == job).count();
+        if parked_for_job >= cap {
+            n.nic.stats.dropped_no_context += 1;
+            self.stats.drops += 1;
+            let tx = self
+                .net
+                .transmit(now, node, pkt.src_host, CONTROL_PACKET_BYTES);
+            bus.emit(
+                tx.arrival,
+                NicEvent::FrameArrive {
+                    node: pkt.src_host,
+                    frame: Frame::DropNotify {
+                        job,
+                        src_host: pkt.src_host,
+                        drop_host: node,
+                    },
+                },
+            );
+            return;
+        }
+        n.parked.push(pkt);
+        self.begin_fault(now, node, job, bus);
+    }
+}
+
+impl World {
+    fn start_fault(&mut self, now: SimTime, node: usize, job: u32, bus: &mut Bus) {
         let n = &mut self.nodes[node];
         n.fault_in_progress = Some(job);
         n.faults += 1;
@@ -116,30 +141,22 @@ impl World {
             format!("endpoint fault for job {job}")
         });
         let r = self.nodes[node].cpu.reserve(now, cost);
-        sched.at(r.end, Event::FaultDone { node, job });
+        bus.emit(r.end, FmEvent::FaultDone { node, job });
     }
 
     /// The LRU resident endpoint, excluding any that is currently the
     /// fault target.
     fn vn_lru_victim(&self, node: usize) -> Option<usize> {
         let n = &self.nodes[node];
-        n.nic
-            .resident_contexts()
-            .min_by_key(|&c| {
-                let j = n.nic.context(c).unwrap().job;
-                n.lru.get(&j).copied().unwrap_or(SimTime::ZERO)
-            })
+        n.nic.resident_contexts().min_by_key(|&c| {
+            let j = n.nic.context(c).unwrap().job;
+            n.lru.get(&j).copied().unwrap_or(SimTime::ZERO)
+        })
     }
 
     /// Fault service completed: evict if needed, install the endpoint,
     /// deliver parked traffic, unblock waiters, start the next fault.
-    pub(crate) fn on_fault_done(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        job: u32,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn on_fault_done(&mut self, now: SimTime, node: usize, job: u32, bus: &mut Bus) {
         debug_assert_eq!(self.nodes[node].fault_in_progress, Some(job));
         let geo = self.cfg.fm.geometry();
         // Evict until the endpoint fits.
@@ -157,8 +174,7 @@ impl World {
             let n = &mut self.nodes[node];
             let mut ctx = n.nic.free_context(victim).unwrap();
             let vjob = ctx.job;
-            let saved =
-                SavedCommState::new(vjob, ctx.send_q.drain_all(), ctx.recv_q.drain_all());
+            let saved = SavedCommState::new(vjob, ctx.send_q.drain_all(), ctx.recv_q.drain_all());
             let bytes = saved.stored_bytes();
             let vpid = self
                 .find_proc_by_job(node, vjob)
@@ -196,15 +212,14 @@ impl World {
         // order.
         let parked: Vec<_> = {
             let n = &mut self.nodes[node];
-            let (mine, rest): (Vec<_>, Vec<_>) =
-                n.parked.drain(..).partition(|p| p.job == job);
+            let (mine, rest): (Vec<_>, Vec<_>) = n.parked.drain(..).partition(|p| p.job == job);
             n.parked = rest;
             mine
         };
         for pkt in parked {
             // Re-enters the normal landing path (engine cost was already
             // paid on arrival; landing now is free of NIC time).
-            self.on_recv_engine_done(now, node, pkt, sched);
+            self.land_packet(now, node, pkt, bus);
         }
 
         // Inject any fragment deferred by a mid-send eviction, then wake
@@ -223,64 +238,28 @@ impl World {
                     .send_q
                     .push(pkt)
                     .expect("fresh endpoint cannot be full");
-                self.kick_send_engine(now, node, sched);
+                self.kick_send_engine(now, node, bus);
             }
+            // Wake the owner if it is blocked at all, not only on
+            // ContextFault: a RecvWait-blocked process whose endpoint just
+            // faulted in (queues restored from backing store) re-polls and
+            // finds its parked arrivals; a spurious kick is a no-op.
             let blocked = self.nodes[node]
                 .apps
                 .get(&pid)
-                .map(|p| p.blocked == Some(BlockReason::ContextFault))
+                .map(|p| p.blocked.is_some())
                 .unwrap_or(false);
             if blocked {
-                sched.immediately(Event::ProcKick { node, pid });
+                bus.emit_now(AppEvent::ProcKick { node, pid });
             }
         }
-        self.drain_pending_refills(now, node, sched);
+        self.drain_pending_refills(now, node, bus);
 
         // Serve the next queued fault.
         if let Some(next) = self.nodes[node].fault_queue.pop_front() {
             if self.nodes[node].nic.find_context(next).is_none() {
-                self.start_fault(now, node, next, sched);
+                self.start_fault(now, node, next, bus);
             }
         }
-    }
-
-    /// An arrival found no resident endpoint under VN caching: park it and
-    /// raise a fault, or overflow into a drop-notify.
-    pub(crate) fn vn_park_arrival(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        pkt: fastmsg::packet::Packet,
-        sched: &mut Scheduler<Event>,
-    ) {
-        let job = pkt.job;
-        // Credits bound each endpoint's in-flight data to its receive-ring
-        // size, so per-endpoint parking of that size never overflows; the
-        // drop path below models the VN paper's return-to-sender for
-        // anything beyond it.
-        let cap = self.cfg.fm.geometry().recv_slots + PARKING_HEADROOM;
-        let n = &mut self.nodes[node];
-        let parked_for_job = n.parked.iter().filter(|p| p.job == job).count();
-        if parked_for_job >= cap {
-            n.nic.stats.dropped_no_context += 1;
-            self.stats.drops += 1;
-            let tx = self
-                .net
-                .transmit(now, node, pkt.src_host, CONTROL_PACKET_BYTES);
-            sched.at(
-                tx.arrival,
-                Event::FrameArrive {
-                    node: pkt.src_host,
-                    frame: Frame::DropNotify {
-                        job,
-                        src_host: pkt.src_host,
-                        drop_host: node,
-                    },
-                },
-            );
-            return;
-        }
-        n.parked.push(pkt);
-        self.begin_fault(now, node, job, sched);
     }
 }

@@ -1,0 +1,348 @@
+//! Data-plane handler: the NIC send/receive engines, frame arrival, and
+//! the halt/ready serial broadcasts.
+
+use fastmsg::packet::{Packet, PacketKind};
+use gang_comm::strategy::SwitchStrategy;
+use hostsim::process::Pid;
+use myrinet::broadcast::{serial_broadcast, CONTROL_PACKET_BYTES};
+use sim_core::time::SimTime;
+use sim_core::trace::Category;
+
+use crate::bus::Bus;
+use crate::event::{AppEvent, Frame, NicEvent};
+use crate::handlers::{AppHandler, DaemonHandler, FmHandler, NicHandler, SwitchHandler};
+use crate::procsim::{BlockReason, ProcPhase};
+use crate::world::World;
+
+impl NicHandler for World {
+    fn on_nic(&mut self, now: SimTime, ev: NicEvent, bus: &mut Bus) {
+        match ev {
+            NicEvent::FrameArrive { node, frame } => self.on_frame_arrive(now, node, frame, bus),
+            NicEvent::SendEngineDone { node } => self.on_send_engine_done(now, node, bus),
+            NicEvent::RecvEngineDone { node, pkt } => self.land_packet(now, node, pkt, bus),
+            NicEvent::HaltBroadcastDone { node } => self.on_halt_broadcast_done(now, node, bus),
+            NicEvent::ReadyBroadcastDone { node } => self.on_ready_broadcast_done(now, node, bus),
+        }
+    }
+
+    /// Let the send engine pick up work if it is idle: the LANai send
+    /// context scanning the send queues (paper §2.2), extended with the
+    /// halt-bit check on packet boundaries (paper §3.2).
+    fn kick_send_engine(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        let n = &mut self.nodes[node];
+        if n.send_engine_busy {
+            return;
+        }
+        if n.nic.halt_bit() {
+            if n.halt_requested && !n.halt_broadcast_started {
+                self.begin_halt_broadcast(now, node, bus);
+            }
+            return;
+        }
+        // Scan contexts for a pending packet (round-robin is moot: under
+        // gang scheduling only the running job produces traffic).
+        let Some(ctx_id) = n
+            .nic
+            .resident_contexts()
+            .find(|&c| !n.nic.context(c).unwrap().send_q.is_empty())
+        else {
+            return;
+        };
+        let pkt = n.nic.context_mut(ctx_id).unwrap().send_q.pop().unwrap();
+        let overhead = n.nic.costs.send_per_packet;
+        // The single LANai processor must be free of queued receive work
+        // before the send context can run.
+        let fw_done = n.nic.reserve_engine(now, overhead);
+        let tx = self
+            .net
+            .transmit(fw_done, node, pkt.dst_host, pkt.wire_bytes());
+        let n = &mut self.nodes[node];
+        n.nic.engine_extend_to(tx.injection_done);
+        n.nic.stats.data_sent += 1;
+        n.send_engine_busy = true;
+        if matches!(self.cfg.strategy, SwitchStrategy::AckDrain) && pkt.kind == PacketKind::Data {
+            n.outstanding += 1;
+        }
+        let dst = pkt.dst_host;
+        bus.emit(tx.injection_done, NicEvent::SendEngineDone { node });
+        // Fault injection: FM assumes "an insignificant error rate on a
+        // SAN" (§2.2); a lost packet silently never arrives.
+        if self.cfg.wire_loss_ppm > 0 && self.rng.below(1_000_000) < self.cfg.wire_loss_ppm as u64 {
+            self.stats.wire_losses += 1;
+            return;
+        }
+        bus.emit(
+            tx.arrival,
+            NicEvent::FrameArrive {
+                node: dst,
+                frame: Frame::Data(pkt),
+            },
+        );
+    }
+
+    /// Start the serial halt broadcast (the send engine is at a packet
+    /// boundary with the halt bit set).
+    fn begin_halt_broadcast(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        let n = &mut self.nodes[node];
+        debug_assert!(n.nic.halt_bit() && n.halt_requested);
+        n.halt_broadcast_started = true;
+        n.send_engine_busy = true;
+        let peers = self.cfg.nodes - 1;
+        let firmware = n.nic.costs.control_packet * peers as u64;
+        let epoch = n.seq.epoch;
+        n.nic.stats.control_sent += peers as u64;
+        let start = n.nic.reserve_engine(now, firmware);
+        let res = serial_broadcast(&mut self.net, start, node, CONTROL_PACKET_BYTES);
+        for (dst, tx) in &res {
+            bus.emit(
+                tx.arrival,
+                NicEvent::FrameArrive {
+                    node: *dst,
+                    frame: Frame::Halt { epoch, src: node },
+                },
+            );
+        }
+        let done = res.last().map(|(_, tx)| tx.injection_done).unwrap_or(start);
+        self.nodes[node].nic.engine_extend_to(done);
+        bus.emit(done, NicEvent::HaltBroadcastDone { node });
+    }
+
+    /// Start the serial ready broadcast (release phase).
+    fn begin_ready_broadcast(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        let n = &mut self.nodes[node];
+        n.send_engine_busy = true;
+        let peers = self.cfg.nodes - 1;
+        let firmware = n.nic.costs.control_packet * peers as u64;
+        let epoch = n.seq.epoch;
+        n.nic.stats.control_sent += peers as u64;
+        let start = n.nic.reserve_engine(now, firmware);
+        let res = serial_broadcast(&mut self.net, start, node, CONTROL_PACKET_BYTES);
+        for (dst, tx) in &res {
+            bus.emit(
+                tx.arrival,
+                NicEvent::FrameArrive {
+                    node: *dst,
+                    frame: Frame::Ready { epoch, src: node },
+                },
+            );
+        }
+        let done = res.last().map(|(_, tx)| tx.injection_done).unwrap_or(start);
+        self.nodes[node].nic.engine_extend_to(done);
+        bus.emit(done, NicEvent::ReadyBroadcastDone { node });
+    }
+
+    /// The receive engine landed one packet (also the re-entry point for
+    /// parked packets the FM handler delivers after a fault).
+    fn land_packet(&mut self, now: SimTime, node: usize, pkt: Packet, bus: &mut Bus) {
+        if pkt.kind == PacketKind::Refill {
+            // Refills are consumed at the NIC layer: credits are host
+            // memory, no queue slot is used (paper §2.2).
+            self.nodes[node].nic.stats.data_received += 1;
+            let pid = self.find_proc_by_job(node, pkt.job);
+            if let Some(pid) = pid {
+                let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+                proc.fm.on_refill(&pkt);
+                if matches!(proc.blocked, Some(BlockReason::Credits { peer }) if peer == pkt.src_host)
+                {
+                    bus.emit_now(AppEvent::ProcKick { node, pid });
+                }
+            }
+            return;
+        }
+        // Data packet: land it in its context's receive queue.
+        let vn = self.vn_active();
+        let n = &mut self.nodes[node];
+        match n.nic.find_context(pkt.job) {
+            None if vn => {
+                // Virtual-networks semantics: hold the packet and fault
+                // the endpoint in.
+                self.vn_park_arrival(now, node, pkt, bus);
+            }
+            None => {
+                // Only the no-flush baselines can reach this: the context
+                // was swapped out with packets still in flight.
+                assert!(
+                    self.cfg.strategy.may_drop(),
+                    "data packet for non-resident context under {} (job {})",
+                    self.cfg.strategy.name(),
+                    pkt.job
+                );
+                n.nic.stats.dropped_no_context += 1;
+                self.stats.drops += 1;
+                let notify = Frame::DropNotify {
+                    job: pkt.job,
+                    src_host: pkt.src_host,
+                    drop_host: node,
+                };
+                let tx = self
+                    .net
+                    .transmit(now, node, pkt.src_host, CONTROL_PACKET_BYTES);
+                bus.emit(
+                    tx.arrival,
+                    NicEvent::FrameArrive {
+                        node: pkt.src_host,
+                        frame: notify,
+                    },
+                );
+            }
+            Some(ctx_id) => {
+                let src_host = pkt.src_host;
+                let job = pkt.job;
+                n.nic
+                    .context_mut(ctx_id)
+                    .unwrap()
+                    .recv_q
+                    .push(pkt)
+                    .expect("receive ring overflow: credit accounting violated");
+                n.nic.stats.data_received += 1;
+                self.vn_touch(now, node, job);
+                // Wake the owning process if it is waiting for traffic.
+                if let Some(pid) = self.find_proc_by_job(node, job) {
+                    let proc = &self.nodes[node].apps[&pid];
+                    if !proc.busy
+                        && matches!(
+                            proc.blocked,
+                            Some(
+                                BlockReason::RecvWait { .. }
+                                    | BlockReason::Credits { .. }
+                                    | BlockReason::SendSpace
+                            )
+                        )
+                    {
+                        bus.emit_now(AppEvent::ProcKick { node, pid });
+                    }
+                    // Dynamic coscheduling (§5): the arrival preempts the
+                    // node in favor of the destination process.
+                    if self.cfg.dynamic_coscheduling && !self.cfg.gang_scheduling {
+                        self.dynamic_cosched_preempt(now, node, pid, bus);
+                    }
+                }
+                // AckDrain: acknowledge receipt to the sender's NIC.
+                if self.cfg.strategy.uses_acks() {
+                    let tx = self.net.transmit(now, node, src_host, CONTROL_PACKET_BYTES);
+                    bus.emit(
+                        tx.arrival,
+                        NicEvent::FrameArrive {
+                            node: src_host,
+                            frame: Frame::Ack { to: src_host },
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl World {
+    /// The send engine finished injecting a packet.
+    fn on_send_engine_done(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        self.nodes[node].send_engine_busy = false;
+        // Queue space freed: unblock senders, flush deferred refills, and
+        // complete any deferred job teardown.
+        let pids: Vec<Pid> = self.nodes[node].apps.keys().copied().collect();
+        for pid in pids {
+            let proc = &self.nodes[node].apps[&pid];
+            if proc.blocked == Some(BlockReason::SendSpace) {
+                bus.emit_now(AppEvent::ProcKick { node, pid });
+            }
+            if proc.phase == ProcPhase::Finished {
+                self.try_end_job(now, node, pid, bus);
+            }
+        }
+        self.drain_pending_refills(now, node, bus);
+        self.kick_send_engine(now, node, bus);
+    }
+
+    /// A frame fully arrived at this node's NIC.
+    fn on_frame_arrive(&mut self, now: SimTime, node: usize, frame: Frame, bus: &mut Bus) {
+        match frame {
+            Frame::Data(pkt) => {
+                // Both data and refill packets pass through the receive
+                // engine (interrupt + classify + DMA).
+                let n = &mut self.nodes[node];
+                let work = n.nic.costs.recv_cycles(pkt.wire_bytes());
+                let end = n.nic.reserve_engine(now, work);
+                bus.emit(end, NicEvent::RecvEngineDone { node, pkt });
+            }
+            Frame::Halt { epoch, src } => {
+                let n = &mut self.nodes[node];
+                n.nic.stats.control_received += 1;
+                self.trace.emit(now, Category::Switch, Some(node), || {
+                    format!("halt from n{src} (epoch {epoch})")
+                });
+                if self.nodes[node].seq.on_halt_msg(epoch) {
+                    self.finish_flush(now, node, bus);
+                }
+            }
+            Frame::Ready { epoch, src } => {
+                let n = &mut self.nodes[node];
+                n.nic.stats.control_received += 1;
+                self.trace.emit(now, Category::Switch, Some(node), || {
+                    format!("ready from n{src} (epoch {epoch})")
+                });
+                if self.nodes[node].seq.on_ready_msg(epoch) {
+                    self.finish_release(now, node, bus);
+                }
+            }
+            Frame::Ack { to } => {
+                debug_assert_eq!(to, node);
+                let n = &mut self.nodes[node];
+                n.nic.stats.control_received += 1;
+                assert!(n.outstanding > 0, "ack without outstanding packet");
+                n.outstanding -= 1;
+                if n.outstanding == 0 {
+                    self.alt_drain_maybe_done(now, node, bus);
+                }
+            }
+            Frame::DropNotify {
+                job,
+                src_host,
+                drop_host,
+            } => {
+                debug_assert_eq!(src_host, node);
+                // Return the credit the dropped packet consumed, standing
+                // in for the higher-layer retransmission path.
+                let pid = self.find_proc_by_job(node, job);
+                if let Some(pid) = pid {
+                    let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+                    proc.fm.flow.refill(drop_host, 1);
+                    if proc.blocked == Some(BlockReason::Credits { peer: drop_host }) {
+                        bus.emit_now(AppEvent::ProcKick { node, pid });
+                    }
+                }
+                // Under AckDrain a nack settles the outstanding packet too.
+                if self.cfg.strategy.uses_acks() {
+                    let n = &mut self.nodes[node];
+                    assert!(n.outstanding > 0, "nack without outstanding packet");
+                    n.outstanding -= 1;
+                    if n.outstanding == 0 {
+                        self.alt_drain_maybe_done(now, node, bus);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The halt broadcast finished: the local halt ("lh") transition.
+    fn on_halt_broadcast_done(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        self.nodes[node].send_engine_busy = false;
+        let complete = self.nodes[node].seq.on_local_halt();
+        self.trace.emit(now, Category::Switch, Some(node), || {
+            format!(
+                "local halt done, state {}",
+                self.nodes[node].seq.flush_label()
+            )
+        });
+        if complete {
+            self.finish_flush(now, node, bus);
+        }
+    }
+
+    /// The ready broadcast finished: the local ready transition.
+    fn on_ready_broadcast_done(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        self.nodes[node].send_engine_busy = false;
+        if self.nodes[node].seq.on_local_ready() {
+            self.finish_release(now, node, bus);
+        }
+    }
+}

@@ -1,5 +1,5 @@
-//! The three-phase gang context switch (paper §3.2) and the §5 baseline
-//! strategies.
+//! Gang-switch handler: the three-phase context switch (paper §3.2) and
+//! the §5 baseline strategies, each packaged as a [`SwitchProtocol`].
 
 use fastmsg::division::BufferPolicy;
 use gang_comm::state::SavedCommState;
@@ -7,25 +7,152 @@ use gang_comm::strategy::SwitchStrategy;
 use gang_comm::switcher;
 use hostsim::process::Signal;
 use parpar::protocol::MasterMsg;
-use sim_core::engine::Scheduler;
 use sim_core::time::{Cycles, SimTime};
 use sim_core::trace::Category;
 
-use crate::event::Event;
+use crate::bus::Bus;
+use crate::event::{AppEvent, DaemonEvent, SwitchEvent};
+use crate::handlers::{NicHandler, SwitchHandler};
 use crate::node::AltSwitch;
 use crate::stats::QueueSample;
 use crate::world::World;
 
-impl World {
-    /// The noded received SwitchSlot: run the strategy's switch sequence.
-    pub(crate) fn start_switch(
+/// One strategy's switch sequence, entered once the outgoing process is
+/// stopped. [`protocol_for`] maps each [`SwitchStrategy`] variant to its
+/// protocol object, so adding a strategy means adding a unit struct here —
+/// not another arm in the dispatcher.
+pub trait SwitchProtocol {
+    /// Run the strategy's switch sequence on `node`.
+    #[allow(clippy::too_many_arguments)]
+    fn begin(
+        &self,
+        w: &mut World,
+        now: SimTime,
+        node: usize,
+        epoch: u64,
+        from: usize,
+        to: usize,
+        bus: &mut Bus,
+    );
+}
+
+/// The paper's scheme: halt + global flush, copy, release (three phases,
+/// each a broadcast barrier).
+struct GangFlush;
+
+/// SHARE/PM-style baseline: no flush — copy immediately and let stragglers
+/// be dropped by the job-ID check on arrival.
+struct ShareDiscard;
+
+/// Per-node drain baseline: stop sending and wait until every in-flight
+/// packet is acknowledged, then copy. No broadcasts.
+struct AckDrain;
+
+/// The protocol object for a strategy.
+pub fn protocol_for(strategy: SwitchStrategy) -> &'static dyn SwitchProtocol {
+    match strategy {
+        SwitchStrategy::GangFlush => &GangFlush,
+        SwitchStrategy::ShareDiscard { .. } => &ShareDiscard,
+        SwitchStrategy::AckDrain => &AckDrain,
+    }
+}
+
+impl SwitchProtocol for GangFlush {
+    fn begin(
+        &self,
+        w: &mut World,
+        now: SimTime,
+        node: usize,
+        epoch: u64,
+        from: usize,
+        to: usize,
+        bus: &mut Bus,
+    ) {
+        if matches!(
+            w.cfg.fm.policy,
+            BufferPolicy::StaticDivision | BufferPolicy::CachedEndpoints
+        ) {
+            // Every context is permanently resident: nothing to flush or
+            // copy — the switch is just signals.
+            w.resume_incoming(now, node, to, bus);
+            w.report_switch_done(now, node, epoch, bus);
+            return;
+        }
+        w.nodes[node].seq.start(now, epoch, from, to);
+        // COMM_halt_network: stop sending on a packet boundary and run the
+        // global flush protocol.
+        w.comm_halt_network(now, node, bus)
+            .expect("halt ordered while idle");
+    }
+}
+
+impl SwitchProtocol for ShareDiscard {
+    fn begin(
+        &self,
+        w: &mut World,
+        now: SimTime,
+        node: usize,
+        epoch: u64,
+        from: usize,
+        to: usize,
+        bus: &mut Bus,
+    ) {
+        let n = &mut w.nodes[node];
+        n.nic.set_halt_bit(true); // stop draining the send queue
+        n.alt_switch = Some(AltSwitch {
+            epoch,
+            from,
+            to,
+            started: now,
+            halt_done: now,
+            copying: true,
+        });
+        let cost = w.copy_cost_for(node, from, to);
+        let r = w.nodes[node].cpu.reserve(now, cost);
+        bus.emit(r.end, SwitchEvent::CopyDone { node });
+    }
+}
+
+impl SwitchProtocol for AckDrain {
+    fn begin(
+        &self,
+        w: &mut World,
+        now: SimTime,
+        node: usize,
+        epoch: u64,
+        from: usize,
+        to: usize,
+        bus: &mut Bus,
+    ) {
+        let n = &mut w.nodes[node];
+        n.nic.set_halt_bit(true);
+        n.alt_switch = Some(AltSwitch {
+            epoch,
+            from,
+            to,
+            started: now,
+            halt_done: now,
+            copying: false,
+        });
+        w.alt_drain_maybe_done(now, node, bus);
+    }
+}
+
+impl SwitchHandler for World {
+    fn on_switch(&mut self, now: SimTime, ev: SwitchEvent, bus: &mut Bus) {
+        match ev {
+            SwitchEvent::CopyDone { node } => self.on_copy_done(now, node, bus),
+        }
+    }
+
+    fn start_switch(
         &mut self,
         now: SimTime,
         node: usize,
         epoch: u64,
         from: usize,
         to: usize,
-        sched: &mut Scheduler<Event>,
+        bus: &mut Bus,
     ) {
         self.nodes[node].noded.current_slot = to;
         self.trace.emit(now, Category::Switch, Some(node), || {
@@ -38,67 +165,10 @@ impl World {
             self.nodes[node].procs.signal(pid, Signal::Stop);
         }
 
-        match self.cfg.strategy {
-            SwitchStrategy::GangFlush => {
-                if matches!(
-                    self.cfg.fm.policy,
-                    BufferPolicy::StaticDivision | BufferPolicy::CachedEndpoints
-                ) {
-                    // Every context is permanently resident: nothing to
-                    // flush or copy — the switch is just signals.
-                    self.resume_incoming(now, node, to, sched);
-                    self.report_switch_done(now, node, epoch, sched);
-                    return;
-                }
-                self.nodes[node].seq.start(now, epoch, from, to);
-                // COMM_halt_network: stop sending on a packet boundary and
-                // run the global flush protocol.
-                self.comm_halt_network(now, node, sched)
-                    .expect("halt ordered while idle");
-            }
-            SwitchStrategy::ShareDiscard { .. } => {
-                // No flush at all: copy immediately; stragglers are dropped
-                // by the job-ID check on arrival.
-                let n = &mut self.nodes[node];
-                n.nic.set_halt_bit(true); // stop draining the send queue
-                n.alt_switch = Some(AltSwitch {
-                    epoch,
-                    from,
-                    to,
-                    started: now,
-                    halt_done: now,
-                    copying: true,
-                });
-                let cost = self.copy_cost_for(node, from, to);
-                let r = self.nodes[node].cpu.reserve(now, cost);
-                sched.at(r.end, Event::CopyDone { node });
-            }
-            SwitchStrategy::AckDrain => {
-                // Stop sending, then wait until all our in-flight packets
-                // are acknowledged — a per-node drain, no broadcasts.
-                let n = &mut self.nodes[node];
-                n.nic.set_halt_bit(true);
-                n.alt_switch = Some(AltSwitch {
-                    epoch,
-                    from,
-                    to,
-                    started: now,
-                    halt_done: now,
-                    copying: false,
-                });
-                self.alt_drain_maybe_done(now, node, sched);
-            }
-        }
+        protocol_for(self.cfg.strategy).begin(self, now, node, epoch, from, to, bus);
     }
 
-    /// AckDrain: if the send engine is quiet and nothing is outstanding,
-    /// the drain phase is over — start the copy.
-    pub(crate) fn alt_drain_maybe_done(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn alt_drain_maybe_done(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
         let n = &mut self.nodes[node];
         let Some(ref mut alt) = n.alt_switch else {
             return;
@@ -111,12 +181,10 @@ impl World {
         let (from, to) = (alt.from, alt.to);
         let cost = self.copy_cost_for(node, from, to);
         let r = self.nodes[node].cpu.reserve(now, cost);
-        sched.at(r.end, Event::CopyDone { node });
+        bus.emit(r.end, SwitchEvent::CopyDone { node });
     }
 
-    /// Occupancy-dependent buffer-switch cost; also records the Fig. 8
-    /// queue sample for the outgoing context.
-    pub(crate) fn copy_cost_for(&mut self, node: usize, from: usize, to: usize) -> Cycles {
+    fn copy_cost_for(&mut self, node: usize, from: usize, to: usize) -> Cycles {
         let out = self.occupancy_of_slot(node, from, true);
         let inc = self.incoming_occupancy(node, to);
         let epoch = self.current_epoch(node);
@@ -158,6 +226,34 @@ impl World {
         cost
     }
 
+    fn finish_flush(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        self.nodes[node].seq.flush_complete(now);
+        self.trace
+            .emit(now, Category::Switch, Some(node), || "flushed".to_string());
+        // COMM_context_switch: swap buffers.
+        self.comm_context_switch(now, node, bus)
+            .expect("copy ordered before flush completed");
+    }
+
+    fn finish_release(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        let breakdown = self.nodes[node].seq.finish(now);
+        let epoch = self.nodes[node].seq.epoch;
+        let to = self.nodes[node].seq.to_slot;
+        self.stats.record_switch(node, epoch, breakdown);
+        {
+            let n = &mut self.nodes[node];
+            n.nic.set_halt_bit(false);
+            n.halt_requested = false;
+            n.halt_broadcast_started = false;
+            n.noded.switches_done += 1;
+        }
+        self.kick_send_engine(now, node, bus);
+        self.resume_incoming(now, node, to, bus);
+        self.report_switch_done(now, node, epoch, bus);
+    }
+}
+
+impl World {
     fn current_epoch(&self, node: usize) -> u64 {
         self.nodes[node]
             .alt_switch
@@ -167,7 +263,12 @@ impl World {
 
     /// (send, recv) occupancy of the resident context of the job in `slot`
     /// on `node`, if any.
-    fn occupancy_of_slot(&self, node: usize, slot: usize, resident: bool) -> Option<(usize, usize)> {
+    fn occupancy_of_slot(
+        &self,
+        node: usize,
+        slot: usize,
+        resident: bool,
+    ) -> Option<(usize, usize)> {
         let pid = self.nodes[node].app_in_slot(slot)?;
         let proc = self.nodes[node].apps.get(&pid)?;
         if resident {
@@ -185,19 +286,9 @@ impl World {
         self.nodes[node].backing.peek(pid).map(|s| s.occupancy())
     }
 
-    /// The flush completed on this node: begin the buffer switch.
-    pub(crate) fn finish_flush(&mut self, now: SimTime, node: usize, sched: &mut Scheduler<Event>) {
-        self.nodes[node].seq.flush_complete(now);
-        self.trace
-            .emit(now, Category::Switch, Some(node), || "flushed".to_string());
-        // COMM_context_switch: swap buffers.
-        self.comm_context_switch(now, node, sched)
-            .expect("copy ordered before flush completed");
-    }
-
     /// The buffer copy finished: move the queue contents and enter the
     /// release phase (or, for the baselines, finish directly).
-    pub(crate) fn on_copy_done(&mut self, now: SimTime, node: usize, sched: &mut Scheduler<Event>) {
+    fn on_copy_done(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
         let (from, to, alt) = match self.nodes[node].alt_switch {
             Some(a) => (a.from, a.to, true),
             None => {
@@ -207,11 +298,11 @@ impl World {
         };
         self.move_buffers(now, node, from, to);
         if alt {
-            self.finish_alt_switch(now, node, to, sched);
+            self.finish_alt_switch(now, node, to, bus);
         } else {
             self.nodes[node].seq.copy_complete(now);
             // COMM_release_network: broadcast ready, collect peers' readys.
-            self.comm_release_network(now, node, sched)
+            self.comm_release_network(now, node, bus)
                 .expect("release ordered before the copy completed");
         }
     }
@@ -224,11 +315,8 @@ impl World {
             let job = n.apps[&pid_out].fm.job;
             if let Some(ctx_id) = n.nic.find_context(job) {
                 let mut ctx = n.nic.free_context(ctx_id).unwrap();
-                let saved = SavedCommState::new(
-                    job,
-                    ctx.send_q.drain_all(),
-                    ctx.recv_q.drain_all(),
-                );
+                let saved =
+                    SavedCommState::new(job, ctx.send_q.drain_all(), ctx.recv_q.drain_all());
                 let bytes = saved.stored_bytes();
                 n.backing.save(pid_out, saved, bytes);
             }
@@ -254,38 +342,8 @@ impl World {
         });
     }
 
-    /// Release protocol complete: restart communication and resume the
-    /// incoming process.
-    pub(crate) fn finish_release(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        sched: &mut Scheduler<Event>,
-    ) {
-        let breakdown = self.nodes[node].seq.finish(now);
-        let epoch = self.nodes[node].seq.epoch;
-        let to = self.nodes[node].seq.to_slot;
-        self.stats.record_switch(node, epoch, breakdown);
-        {
-            let n = &mut self.nodes[node];
-            n.nic.set_halt_bit(false);
-            n.halt_requested = false;
-            n.halt_broadcast_started = false;
-            n.noded.switches_done += 1;
-        }
-        self.kick_send_engine(now, node, sched);
-        self.resume_incoming(now, node, to, sched);
-        self.report_switch_done(now, node, epoch, sched);
-    }
-
     /// Finish a ShareDiscard/AckDrain switch (no release protocol).
-    fn finish_alt_switch(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        to: usize,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn finish_alt_switch(&mut self, now: SimTime, node: usize, to: usize, bus: &mut Bus) {
         let alt = self.nodes[node].alt_switch.take().unwrap();
         let breakdown = gang_comm::sequencer::StageBreakdown {
             halt: alt.halt_done.since(alt.started),
@@ -298,41 +356,26 @@ impl World {
             n.nic.set_halt_bit(false);
             n.noded.switches_done += 1;
         }
-        self.kick_send_engine(now, node, sched);
-        self.resume_incoming(now, node, to, sched);
-        self.report_switch_done(now, node, alt.epoch, sched);
+        self.kick_send_engine(now, node, bus);
+        self.resume_incoming(now, node, to, bus);
+        self.report_switch_done(now, node, alt.epoch, bus);
     }
 
-    fn resume_incoming(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        to: usize,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn resume_incoming(&mut self, now: SimTime, node: usize, to: usize, bus: &mut Bus) {
         if let Some(pid_in) = self.nodes[node].app_in_slot(to) {
             self.nodes[node].procs.signal(pid_in, Signal::Cont);
-            sched.at(
+            bus.emit(
                 now + self.cfg.host_costs.signal,
-                Event::ProcKick {
-                    node,
-                    pid: pid_in,
-                },
+                AppEvent::ProcKick { node, pid: pid_in },
             );
         }
     }
 
-    fn report_switch_done(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        epoch: u64,
-        sched: &mut Scheduler<Event>,
-    ) {
+    fn report_switch_done(&mut self, now: SimTime, node: usize, epoch: u64, bus: &mut Bus) {
         let t = self.ctrl.unicast_to_master(now);
-        sched.at(
+        bus.emit(
             t,
-            Event::CtrlToMaster {
+            DaemonEvent::CtrlToMaster {
                 msg: MasterMsg::SwitchDone { epoch, node },
             },
         );

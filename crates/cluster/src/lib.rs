@@ -10,23 +10,24 @@
 
 #![warn(missing_docs)]
 
+pub mod bus;
 pub mod config;
-pub mod data;
-pub mod drive;
 pub mod event;
 pub mod glue;
-pub mod host;
+pub mod handlers;
 pub mod measure;
 pub mod node;
 pub mod procsim;
 pub mod stats;
-pub mod switch;
-pub mod vn;
 pub mod world;
 
+pub use bus::Bus;
 pub use config::{ClusterConfig, TopologyKind};
-pub use event::{Event, Frame, HostOp};
+pub use event::{AppEvent, DaemonEvent, Event, FmEvent, Frame, HostOp, NicEvent, SwitchEvent};
 pub use glue::GlueFm;
+pub use handlers::{
+    AppHandler, DaemonHandler, FmHandler, NicHandler, SlotView, SwitchHandler, WorldState,
+};
 pub use node::NodeSim;
 pub use procsim::{BlockReason, ProcPhase, ProcSim};
 pub use stats::{QueueSample, WorldStats};

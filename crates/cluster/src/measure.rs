@@ -307,9 +307,8 @@ pub fn bsp_completion(
         });
         sim.submit(&spin, Some(all)).expect("placement");
         let horizon = SimTime::ZERO + Cycles::from_secs(3600);
-        sim.engine.run_until_pred(horizon, |w| {
-            w.stats.job_finished.contains_key(&job)
-        });
+        sim.engine
+            .run_until_pred(horizon, |w| w.stats.job_finished.contains_key(&job));
         let w = sim.world();
         let done = *w
             .stats
@@ -331,7 +330,14 @@ pub fn bsp_gang_vs_uncoordinated(
     seed: u64,
 ) -> BspComparison {
     BspComparison {
-        gang: bsp_completion(nodes, supersteps, compute, quantum, seed, SchedulingMode::Gang),
+        gang: bsp_completion(
+            nodes,
+            supersteps,
+            compute,
+            quantum,
+            seed,
+            SchedulingMode::Gang,
+        ),
         uncoordinated: bsp_completion(
             nodes,
             supersteps,

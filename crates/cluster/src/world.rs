@@ -17,8 +17,12 @@ use sim_core::time::{Cycles, SimTime};
 use sim_core::trace::Trace;
 use workloads::program::{Program, Workload};
 
+use crate::bus::Bus;
 use crate::config::ClusterConfig;
-use crate::event::Event;
+use crate::event::{DaemonEvent, Event};
+use crate::handlers::{
+    AppHandler, DaemonHandler, FmHandler, NicHandler, SwitchHandler, WorldState,
+};
 use crate::node::NodeSim;
 use crate::stats::WorldStats;
 
@@ -103,7 +107,7 @@ impl World {
         now: SimTime,
         sub: Submitted,
         programs: Vec<Box<dyn Program>>,
-        sched: &mut sim_core::engine::Scheduler<Event>,
+        bus: &mut Bus,
     ) {
         for (rank, program) in programs.into_iter().enumerate() {
             self.pending_programs.insert((sub.job, rank), program);
@@ -114,7 +118,7 @@ impl World {
                 "job placed on out-of-service node {node}"
             );
             let t = self.ctrl.unicast_to_node(now);
-            sched.at(t, Event::CtrlToNode { node, cmd });
+            bus.emit(t, DaemonEvent::CtrlToNode { node, cmd });
         }
     }
 
@@ -126,25 +130,31 @@ impl World {
     }
 }
 
+impl WorldState for World {
+    fn cfg(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    fn node(&self, id: usize) -> &NodeSim {
+        &self.nodes[id]
+    }
+
+    fn node_mut(&mut self, id: usize) -> &mut NodeSim {
+        &mut self.nodes[id]
+    }
+}
+
 impl Model for World {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        let mut bus = Bus::new(sched);
         match event {
-            Event::QuantumExpired => self.on_quantum_expired(now, sched),
-            Event::NodeTick { node } => self.on_node_tick(now, node, sched),
-            Event::CtrlToNode { node, cmd } => self.on_ctrl_to_node(now, node, cmd, sched),
-            Event::CtrlToMaster { msg } => self.on_ctrl_to_master(now, msg, sched),
-            Event::NodedAct { node, cmd } => self.on_noded_act(now, node, cmd, sched),
-            Event::FrameArrive { node, frame } => self.on_frame_arrive(now, node, frame, sched),
-            Event::SendEngineDone { node } => self.on_send_engine_done(now, node, sched),
-            Event::RecvEngineDone { node, pkt } => self.on_recv_engine_done(now, node, pkt, sched),
-            Event::HaltBroadcastDone { node } => self.on_halt_broadcast_done(now, node, sched),
-            Event::ReadyBroadcastDone { node } => self.on_ready_broadcast_done(now, node, sched),
-            Event::ProcKick { node, pid } => self.proc_kick(now, node, pid, sched),
-            Event::HostOpDone { node, pid, op } => self.on_host_op_done(now, node, pid, op, sched),
-            Event::CopyDone { node } => self.on_copy_done(now, node, sched),
-            Event::FaultDone { node, job } => self.on_fault_done(now, node, job, sched),
+            Event::Daemon(e) => self.on_daemon(now, e, &mut bus),
+            Event::Nic(e) => self.on_nic(now, e, &mut bus),
+            Event::App(e) => self.on_app(now, e, &mut bus),
+            Event::Switch(e) => self.on_switch(now, e, &mut bus),
+            Event::Fm(e) => self.on_fm(now, e, &mut bus),
         }
     }
 }
@@ -197,15 +207,19 @@ impl Sim {
         }
         let mut engine = Engine::new(World::new(cfg));
         engine.event_limit = 2_000_000_000;
+        engine.set_event_kinds(crate::event::KIND_NAMES, Event::kind_index);
         if auto && gang {
-            engine.schedule_at(SimTime::ZERO + quantum, Event::QuantumExpired);
+            engine.schedule_at(SimTime::ZERO + quantum, DaemonEvent::QuantumExpired.into());
         }
         if auto && !gang {
             // Each node's scheduler free-runs with its own phase: spread
             // the first ticks across the quantum so nodes drift apart.
             for node in 0..nodes {
                 let phase = Cycles(quantum.raw() * (node as u64 + 1) / (nodes as u64 + 1));
-                engine.schedule_at(SimTime::ZERO + quantum + phase, Event::NodeTick { node });
+                engine.schedule_at(
+                    SimTime::ZERO + quantum + phase,
+                    DaemonEvent::NodeTick { node }.into(),
+                );
             }
         }
         Sim { engine }
@@ -235,12 +249,13 @@ impl Sim {
             None => JobSpec::sized(workload.name(), workload.nprocs()),
         };
         let now = self.engine.now();
-        let programs: Vec<Box<dyn Program>> =
-            (0..workload.nprocs()).map(|r| workload.program(r)).collect();
+        let programs: Vec<Box<dyn Program>> = (0..workload.nprocs())
+            .map(|r| workload.program(r))
+            .collect();
         self.engine.drive(|w, sched| {
             let sub = w.master.submit(spec)?;
             let job = sub.job;
-            w.dispatch_submission(now, sub, programs, sched);
+            w.dispatch_submission(now, sub, programs, &mut Bus::new(sched));
             Ok(job)
         })
     }
@@ -258,21 +273,21 @@ impl Sim {
             None => JobSpec::sized(workload.name(), workload.nprocs()),
         };
         let now = self.engine.now();
-        let programs: Vec<Box<dyn Program>> =
-            (0..workload.nprocs()).map(|r| workload.program(r)).collect();
-        self.engine.drive(|w, sched| {
-            match w.jobrep.submit(&mut w.master, spec)? {
+        let programs: Vec<Box<dyn Program>> = (0..workload.nprocs())
+            .map(|r| workload.program(r))
+            .collect();
+        self.engine
+            .drive(|w, sched| match w.jobrep.submit(&mut w.master, spec)? {
                 Some(sub) => {
                     let job = sub.job;
-                    w.dispatch_submission(now, sub, programs, sched);
+                    w.dispatch_submission(now, sub, programs, &mut Bus::new(sched));
                     Ok(Some(job))
                 }
                 None => {
                     w.queued_programs.push_back(programs);
                     Ok(None)
                 }
-            }
-        })
+            })
     }
 
     /// Run until `horizon`.

@@ -49,7 +49,11 @@ impl OverheadLedger {
 
     /// Maximum cycles of each stage.
     pub fn max_stages(&self) -> (f64, f64, f64) {
-        (self.halt.max(), self.buffer_switch.max(), self.release.max())
+        (
+            self.halt.max(),
+            self.buffer_switch.max(),
+            self.release.max(),
+        )
     }
 
     /// Mean total switch cycles.

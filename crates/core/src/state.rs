@@ -21,7 +21,11 @@ pub struct SavedCommState<P> {
 impl<P> SavedCommState<P> {
     /// Wrap drained queues.
     pub fn new(job: u32, send_q: Vec<P>, recv_q: Vec<P>) -> Self {
-        SavedCommState { job, send_q, recv_q }
+        SavedCommState {
+            job,
+            send_q,
+            recv_q,
+        }
     }
 
     /// Empty state for a job that has not communicated yet.

@@ -154,7 +154,16 @@ mod tests {
     fn improved_switch_within_paper_bound_at_observed_occupancy() {
         let (cfg, mem, costs) = setup();
         // Fig. 8's worst case: ~110 receive + ~20 send packets per side.
-        let total = switch_cost(CopyStrategy::ValidOnly, &cfg, &mem, &costs, 20, 110, 20, 110);
+        let total = switch_cost(
+            CopyStrategy::ValidOnly,
+            &cfg,
+            &mem,
+            &costs,
+            20,
+            110,
+            20,
+            110,
+        );
         // Paper: "less than 12.5 msecs (2,500,000 cycles)".
         assert!(total.raw() < 2_500_000, "{total:?}");
     }
@@ -168,7 +177,10 @@ mod tests {
         let d1 = c50.raw() - c0.raw();
         let d2 = c100.raw() - c50.raw();
         // Equal increments (up to the per-copy setup constant).
-        assert!((d1 as i64 - d2 as i64).unsigned_abs() < 1000, "{d1} vs {d2}");
+        assert!(
+            (d1 as i64 - d2 as i64).unsigned_abs() < 1000,
+            "{d1} vs {d2}"
+        );
     }
 
     #[test]

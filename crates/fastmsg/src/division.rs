@@ -154,7 +154,16 @@ mod tests {
     #[test]
     fn paper_credit_table_static_division() {
         // C0 = 668 / (n^2 * 16), floored — the collapse of Fig. 5.
-        let expect = [(1, 41), (2, 10), (3, 4), (4, 2), (5, 1), (6, 1), (7, 0), (8, 0)];
+        let expect = [
+            (1, 41),
+            (2, 10),
+            (3, 4),
+            (4, 2),
+            (5, 1),
+            (6, 1),
+            (7, 0),
+            (8, 0),
+        ];
         for (n, c) in expect {
             let g = BufferPolicy::StaticDivision.geometry(SEND, RECV, n, P, CreditRounding::Floor);
             assert_eq!(g.credits, c, "n={n}");

@@ -42,10 +42,10 @@ pub enum InitStep {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Start,
-    Identified,    // job id + rank known
-    ContextKnown,  // NIC context assigned
-    QueuesMapped,  // send/recv queues mapped into the address space
-    Synchronized,  // global sync point passed
+    Identified,   // job id + rank known
+    ContextKnown, // NIC context assigned
+    QueuesMapped, // send/recv queues mapped into the address space
+    Synchronized, // global sync point passed
 }
 
 /// The FM_initialize state machine for one process.

@@ -153,7 +153,11 @@ impl FmProcess {
     pub fn on_extract(&mut self, pkt: &Packet) -> Extract {
         assert_eq!(pkt.job, self.job, "packet for wrong job reached process");
         assert_eq!(pkt.dst_rank, self.rank, "packet for wrong rank");
-        assert_eq!(pkt.kind, PacketKind::Data, "refills are consumed by the NIC layer");
+        assert_eq!(
+            pkt.kind,
+            PacketKind::Data,
+            "refills are consumed by the NIC layer"
+        );
         let expected = self.recv_expect[pkt.src_rank];
         if self.allow_loss {
             assert!(
@@ -176,7 +180,8 @@ impl FmProcess {
         // Piggybacked credits on a data packet refill our window toward the
         // sender's host.
         if pkt.piggyback_credits > 0 {
-            self.flow.refill(pkt.src_host, pkt.piggyback_credits as usize);
+            self.flow
+                .refill(pkt.src_host, pkt.piggyback_credits as usize);
         }
         self.stats.packets_received += 1;
         self.stats.bytes_received += pkt.payload as u64;
@@ -197,7 +202,8 @@ impl FmProcess {
     /// without involving the receive queue).
     pub fn on_refill(&mut self, pkt: &Packet) {
         assert_eq!(pkt.kind, PacketKind::Refill);
-        self.flow.refill(pkt.src_host, pkt.piggyback_credits as usize);
+        self.flow
+            .refill(pkt.src_host, pkt.piggyback_credits as usize);
     }
 }
 

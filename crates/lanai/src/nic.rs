@@ -213,20 +213,12 @@ impl<P> Nic<P> {
 
     /// Total valid packets in all resident send queues.
     pub fn send_q_occupancy(&self) -> usize {
-        self.contexts
-            .iter()
-            .flatten()
-            .map(|c| c.send_q.len())
-            .sum()
+        self.contexts.iter().flatten().map(|c| c.send_q.len()).sum()
     }
 
     /// Total valid packets in all resident receive queues.
     pub fn recv_q_occupancy(&self) -> usize {
-        self.contexts
-            .iter()
-            .flatten()
-            .map(|c| c.recv_q.len())
-            .sum()
+        self.contexts.iter().flatten().map(|c| c.recv_q.len()).sum()
     }
 }
 
@@ -255,7 +247,10 @@ mod tests {
     fn duplicate_job_rejected() {
         let mut n = nic();
         n.alloc_context(1, 0, 10, 10).unwrap();
-        assert_eq!(n.alloc_context(1, 0, 10, 10), Err(NicError::DuplicateContext));
+        assert_eq!(
+            n.alloc_context(1, 0, 10, 10),
+            Err(NicError::DuplicateContext)
+        );
     }
 
     #[test]

@@ -192,7 +192,11 @@ mod tests {
         let b = n.transmit(SimTime::ZERO, 1, 2, 1600);
         // Both occupy the switch->host2 link; one must wait.
         assert_ne!(a.arrival, b.arrival);
-        let (first, second) = if a.arrival < b.arrival { (a, b) } else { (b, a) };
+        let (first, second) = if a.arrival < b.arrival {
+            (a, b)
+        } else {
+            (b, a)
+        };
         assert!(second.arrival.raw() >= first.arrival.raw() + 2000 - 100);
     }
 

@@ -211,9 +211,8 @@ impl Topology {
                 let mut path = Vec::new();
                 let mut p = self.port_index(Port::Host(dst));
                 while p != s {
-                    let lid = in_link[p].unwrap_or_else(|| {
-                        panic!("host {dst} unreachable from host {src}")
-                    });
+                    let lid = in_link[p]
+                        .unwrap_or_else(|| panic!("host {dst} unreachable from host {src}"));
                     path.push(lid);
                     p = self.port_index(self.links[lid].from);
                 }

@@ -21,7 +21,7 @@ pub mod protocol;
 pub use control::ControlNet;
 pub use job::{JobId, JobSpec, JobState};
 pub use jobrep::{JobRep, JobRepStats};
-pub use masterd::{Masterd, SwitchOrder, Submitted};
+pub use masterd::{Masterd, Submitted, SwitchOrder};
 pub use matrix::{GangMatrix, PlaceError, Placement};
 pub use noded::Noded;
 pub use protocol::{MasterMsg, NodedCmd};

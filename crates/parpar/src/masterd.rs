@@ -148,7 +148,11 @@ impl Masterd {
     /// (the "collect all notifications" step of Fig. 2).
     pub fn on_proc_started(&mut self, job: JobId, node: usize) -> Option<Vec<(usize, NodedCmd)>> {
         let rec = self.jobs.get_mut(&job).expect("unknown job");
-        assert_eq!(rec.state, JobState::Loading, "ProcStarted for non-loading job");
+        assert_eq!(
+            rec.state,
+            JobState::Loading,
+            "ProcStarted for non-loading job"
+        );
         rec.nodes_up.insert(node);
         if rec.nodes_up.len() == rec.spec.nprocs {
             rec.state = JobState::Running;
@@ -242,7 +246,9 @@ mod tests {
         assert_eq!(s.cmds.len(), 4);
         for (i, (node, cmd)) in s.cmds.iter().enumerate() {
             match cmd {
-                NodedCmd::LoadJob { rank, placement, .. } => {
+                NodedCmd::LoadJob {
+                    rank, placement, ..
+                } => {
                     assert_eq!(*rank, i);
                     assert_eq!(placement[*rank], *node);
                 }

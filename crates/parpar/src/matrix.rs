@@ -73,9 +73,7 @@ impl GangMatrix {
 
     /// Is `job` anywhere in the matrix?
     pub fn contains(&self, job: JobId) -> bool {
-        self.cells
-            .iter()
-            .any(|row| row.contains(&Some(job)))
+        self.cells.iter().any(|row| row.contains(&Some(job)))
     }
 
     /// Slots that currently host at least one job, ascending.
@@ -291,9 +289,6 @@ mod tests {
         let mut m = GangMatrix::new(2, 1);
         m.place_pinned(JobId(1), &[0, 1]).unwrap();
         assert_eq!(m.place_pinned(JobId(2), &[0]), Err(PlaceError::PinnedBusy));
-        assert_eq!(
-            m.place_pinned(JobId(3), &[7]),
-            Err(PlaceError::TooLarge)
-        );
+        assert_eq!(m.place_pinned(JobId(3), &[7]), Err(PlaceError::TooLarge));
     }
 }

@@ -6,9 +6,7 @@
 //! they were scheduled (FIFO tie-breaking by a monotone sequence number), so
 //! a run is bit-for-bit reproducible.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::queue::EventQueue;
 use crate::time::{Cycles, SimTime};
 
 /// A simulation model: the state machine driven by the engine.
@@ -21,39 +19,41 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+/// Why a schedule request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedError {
+    /// The requested instant is before the scheduler's current time;
+    /// delivering it would reorder causality.
+    InPast {
+        /// The instant that was requested.
+        requested: SimTime,
+        /// The scheduler's clock at the time of the request.
+        now: SimTime,
+    },
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::InPast { requested, now } => {
+                write!(f, "scheduling into the past: {requested:?} < {now:?}")
+            }
+        }
     }
 }
 
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
+impl std::error::Error for SchedError {}
 
 /// The pending-event queue, handed to the model during event handling so it
 /// can schedule follow-ups.
 pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Scheduled<E>>,
+    queue: EventQueue<E>,
+    /// How many `at` calls asked for a past instant and were clamped to
+    /// `now` (each one is a causality bug in the model, papered over in
+    /// release builds).
+    clamped: u64,
 }
 
 impl<E> Scheduler<E> {
@@ -61,8 +61,14 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(),
+            clamped: 0,
         }
+    }
+
+    /// Pre-size the queue for `n` simultaneously pending events.
+    pub fn reserve(&mut self, n: usize) {
+        self.queue.reserve(n);
     }
 
     /// Current simulated instant.
@@ -71,17 +77,55 @@ impl<E> Scheduler<E> {
         self.now
     }
 
-    /// Schedule `event` at absolute instant `t`. Scheduling in the past
-    /// panics in debug builds (it would silently reorder causality).
-    pub fn at(&mut self, t: SimTime, event: E) {
-        debug_assert!(t >= self.now, "scheduling into the past: {t:?} < {:?}", self.now);
-        let t = t.max(self.now);
-        self.heap.push(Scheduled {
-            time: t,
-            seq: self.seq,
-            event,
-        });
+    /// Validate a requested instant against the current clock.
+    #[inline]
+    fn check(&self, t: SimTime) -> Result<(), SchedError> {
+        if t < self.now {
+            Err(SchedError::InPast {
+                requested: t,
+                now: self.now,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Unchecked enqueue at `t` with the next FIFO sequence number.
+    #[inline]
+    fn push(&mut self, t: SimTime, event: E) {
+        self.queue.push(t, self.seq, event);
         self.seq += 1;
+    }
+
+    /// Schedule `event` at absolute instant `t`, rejecting past instants
+    /// instead of clamping them. On `Err` the event is dropped.
+    pub fn try_at(&mut self, t: SimTime, event: E) -> Result<(), SchedError> {
+        self.check(t)?;
+        self.push(t, event);
+        Ok(())
+    }
+
+    /// Schedule `event` at absolute instant `t`. Scheduling in the past
+    /// panics in debug builds (it would silently reorder causality); release
+    /// builds clamp to `now`, deliver in FIFO position at the current
+    /// instant, and count the violation (see
+    /// [`Scheduler::causality_clamps`]).
+    pub fn at(&mut self, t: SimTime, event: E) {
+        match self.check(t) {
+            Ok(()) => self.push(t, event),
+            Err(e) => {
+                debug_assert!(false, "{e}");
+                self.clamped += 1;
+                self.push(self.now, event);
+            }
+        }
+    }
+
+    /// How many [`Scheduler::at`] calls were clamped from a past instant to
+    /// `now`. Always zero in a causally sound model.
+    #[inline]
+    pub fn causality_clamps(&self) -> u64 {
+        self.clamped
     }
 
     /// Schedule `event` after a relative delay `d`.
@@ -100,15 +144,15 @@ impl<E> Scheduler<E> {
     /// Number of pending events.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
-    fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop()
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.queue.pop()
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        self.queue.peek_time()
     }
 }
 
@@ -157,6 +201,29 @@ pub struct Engine<M: Model> {
     /// Safety valve against model livelocks (an event chain that never
     /// advances time). Checked by [`Engine::run_until`].
     pub event_limit: u64,
+    /// Maps an event to a kind index (for dispatch counters and the run
+    /// digest). `None` folds every event into kind 0.
+    classifier: Option<fn(&M::Event) -> usize>,
+    /// Kind names parallel to the counter vector.
+    kind_names: &'static [&'static str],
+    /// Events dispatched, per kind index.
+    kind_counts: Vec<u64>,
+    /// FNV-1a over the `(time, kind)` stream of every dispatched event —
+    /// a cheap fingerprint of the whole run's delivery order.
+    digest: u64,
+}
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl<M: Model> Engine<M> {
@@ -167,7 +234,49 @@ impl<M: Model> Engine<M> {
             sched: Scheduler::new(),
             events_processed: 0,
             event_limit: u64::MAX,
+            classifier: None,
+            kind_names: &["event"],
+            kind_counts: vec![0],
+            digest: FNV_OFFSET,
         }
+    }
+
+    /// Install an event-kind classifier: `names[classify(&e)]` is the kind
+    /// of `e`. Kinds feed the per-kind dispatch counters and the run
+    /// digest, so the mapping must be stable for digests to be comparable.
+    /// Resets the counters (not the digest — install before running).
+    pub fn set_event_kinds(
+        &mut self,
+        names: &'static [&'static str],
+        classify: fn(&M::Event) -> usize,
+    ) {
+        assert!(!names.is_empty(), "need at least one kind name");
+        self.classifier = Some(classify);
+        self.kind_names = names;
+        self.kind_counts = vec![0; names.len()];
+    }
+
+    /// Dispatch counts per event kind, as `(name, count)` pairs.
+    pub fn dispatch_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.kind_names
+            .iter()
+            .copied()
+            .zip(self.kind_counts.iter().copied())
+    }
+
+    /// FNV-1a fingerprint of the `(time, kind)` stream of every event
+    /// dispatched so far. Two runs of the same model with the same inputs
+    /// must produce the same digest; a changed digest means the delivery
+    /// order (or timing) diverged.
+    #[inline]
+    pub fn stream_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// How many schedule calls were clamped from a past instant to `now`.
+    #[inline]
+    pub fn causality_clamps(&self) -> u64 {
+        self.sched.causality_clamps()
     }
 
     /// Current simulated instant.
@@ -186,6 +295,11 @@ impl<M: Model> Engine<M> {
     #[inline]
     pub fn pending(&self) -> usize {
         self.sched.pending()
+    }
+
+    /// Pre-size the pending queue for `n` simultaneously pending events.
+    pub fn reserve_events(&mut self, n: usize) {
+        self.sched.reserve(n);
     }
 
     /// Schedule an event at an absolute instant (driver-side).
@@ -207,12 +321,21 @@ impl<M: Model> Engine<M> {
 
     /// Process a single event, if any. Returns the instant it fired.
     pub fn step(&mut self) -> Option<SimTime> {
-        let item = self.sched.pop()?;
-        debug_assert!(item.time >= self.sched.now);
-        self.sched.now = item.time;
+        let (time, event) = self.sched.pop()?;
+        debug_assert!(time >= self.sched.now);
+        self.sched.now = time;
         self.events_processed += 1;
-        self.model.handle(item.time, item.event, &mut self.sched);
-        Some(item.time)
+        let kind = match self.classifier {
+            Some(f) => f(&event),
+            None => 0,
+        };
+        debug_assert!(kind < self.kind_counts.len(), "kind index out of range");
+        if let Some(c) = self.kind_counts.get_mut(kind) {
+            *c += 1;
+        }
+        self.digest = fnv1a(fnv1a(self.digest, time.raw()), kind as u64);
+        self.model.handle(time, event, &mut self.sched);
+        Some(time)
     }
 
     /// Run until the queue drains or `horizon` is reached. Events scheduled
@@ -385,6 +508,60 @@ mod tests {
         let out = e.run_until_pred(SimTime(1000), |m| m.fired.len() == 4);
         assert_eq!(out, RunOutcome::Horizon);
         assert_eq!(e.model.fired.len(), 4);
+    }
+
+    #[test]
+    fn try_at_rejects_past_instants() {
+        let mut e = engine();
+        e.schedule_at(SimTime(100), 1);
+        e.run_to_idle();
+        assert_eq!(e.now(), SimTime(100));
+        let err = e.drive(|_, s| s.try_at(SimTime(50), 2)).unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::InPast {
+                requested: SimTime(50),
+                now: SimTime(100),
+            }
+        );
+        // The rejected event was not enqueued; the clamp counter is
+        // untouched (try_at refuses rather than papering over).
+        assert_eq!(e.pending(), 0);
+        assert_eq!(e.causality_clamps(), 0);
+        // Scheduling at exactly `now` is fine.
+        e.drive(|_, s| s.try_at(SimTime(100), 3)).unwrap();
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn dispatch_counters_follow_classifier() {
+        let mut e = engine();
+        e.set_event_kinds(&["even", "odd"], |ev| (*ev % 2) as usize);
+        for i in 0..10 {
+            e.schedule_at(SimTime(i as u64), i);
+        }
+        e.run_to_idle();
+        let counts: Vec<_> = e.dispatch_counts().collect();
+        assert_eq!(counts, vec![("even", 5), ("odd", 5)]);
+    }
+
+    #[test]
+    fn stream_digest_is_reproducible_and_order_sensitive() {
+        let run = |order: &[u64]| {
+            let mut e = engine();
+            for &t in order {
+                e.schedule_at(SimTime(t), t as u32);
+            }
+            e.run_to_idle();
+            e.stream_digest()
+        };
+        // Same schedule, same digest (insertion order at distinct times is
+        // irrelevant — delivery order is what is hashed).
+        assert_eq!(run(&[10, 20, 30]), run(&[30, 10, 20]));
+        // Different delivery times diverge.
+        assert_ne!(run(&[10, 20, 30]), run(&[10, 20, 40]));
+        // An empty run keeps the FNV offset basis.
+        assert_eq!(engine().stream_digest(), run(&[]));
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! * [`time`] — simulated time in cycles of the paper's 200 MHz CPU;
 //! * [`engine`] — a generic, deterministic discrete-event engine
 //!   (FIFO-ordered timestamp ties ⇒ bit-identical replays);
+//! * [`queue`] — the engine's pending-event queue: a 4-ary min-heap of
+//!   small index entries over a slab arena of event payloads;
 //! * [`mem`] — the host-side memory-region copy-cost model calibrated to the
 //!   paper's measured 45 / 14 / 80 MB/s bandwidths;
 //! * [`stats`] — bandwidth meters, histograms, time-weighted statistics;
@@ -16,6 +18,7 @@
 
 pub mod engine;
 pub mod mem;
+pub mod queue;
 pub mod report;
 pub mod rng;
 pub mod stats;

@@ -128,6 +128,9 @@ mod tests {
     fn setup_cost_charged_once() {
         let m = CopyCostModel::parpar();
         let one = m.copy_cycles(Region::HostRegular, Region::HostRegular, 1);
-        assert_eq!(one.raw(), m.setup.raw() + Cycles::for_bytes_at(1, m.host_bw).raw());
+        assert_eq!(
+            one.raw(),
+            m.setup.raw() + Cycles::for_bytes_at(1, m.host_bw).raw()
+        );
     }
 }

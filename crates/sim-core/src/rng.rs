@@ -3,10 +3,11 @@
 //! Every stochastic choice in the simulation draws from a [`DetRng`] seeded
 //! from the experiment configuration, so a run is exactly reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A small, fast, seedable RNG with convenience helpers.
+///
+/// The generator is xoshiro256++ seeded through SplitMix64, implemented
+/// here directly so the simulation's determinism depends on no external
+/// crate: the stream for a given seed is frozen by this file alone.
 ///
 /// Carries its seed so that independent child streams can be derived with
 /// [`DetRng::fork`] (one stream per node / application / purpose), keeping
@@ -14,16 +15,45 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// One step of SplitMix64: advances `x` and returns the next output.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            seed,
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        DetRng { seed, state }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child stream; `stream` tags the purpose (node
@@ -46,22 +76,41 @@ impl DetRng {
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "DetRng::below(0)");
+        // Lemire's widening-multiply method with rejection: unbiased for
+        // every `n` and needs one multiply in the common case.
+        let mut m = (self.next_u64() as u128) * (n as u128);
+        if (m as u64) < n {
+            let t = n.wrapping_neg() % n;
+            while (m as u64) < t {
+                m = (self.next_u64() as u128) * (n as u128);
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "DetRng::range: empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            // Consume one draw either way so the stream position does not
+            // depend on the probability value.
+            let _ = self.next_u64();
+            return true;
+        }
+        self.unit() < p
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher–Yates shuffle.

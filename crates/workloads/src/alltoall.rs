@@ -134,7 +134,7 @@ mod tests {
             }
         }
         assert_eq!(counts, [2, 0, 2, 2]); // never to self (rank 1)
-        // Then waits for 6 arrivals...
+                                          // Then waits for 6 arrivals...
         assert_eq!(p.next_op(&view(0)), Op::WaitRecvMsgs { target: 6 });
         // ...and exits after its single round.
         assert_eq!(p.next_op(&view(6)), Op::Done);

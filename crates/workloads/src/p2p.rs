@@ -137,7 +137,13 @@ mod tests {
         let w = P2pBandwidth::with_count(1024, 3);
         let mut s = w.program(0);
         for _ in 0..3 {
-            assert!(matches!(s.next_op(&view(0, 0, 0)), Op::Send { dst: 1, bytes: 1024 }));
+            assert!(matches!(
+                s.next_op(&view(0, 0, 0)),
+                Op::Send {
+                    dst: 1,
+                    bytes: 1024
+                }
+            ));
         }
         assert_eq!(s.next_op(&view(0, 0, 3)), Op::WaitRecvMsgs { target: 1 });
         assert_eq!(s.next_op(&view(0, 1, 3)), Op::Done);

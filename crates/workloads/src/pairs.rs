@@ -84,7 +84,7 @@ impl Program for PairsProgram {
         self.round += 1;
         self.sent_this_round = false;
         // Periodic sync keeps queues bounded on unlucky hot receivers.
-        if self.round % cfg.sync_every.max(1) == 0 {
+        if self.round.is_multiple_of(cfg.sync_every.max(1)) {
             let owed = expected_received(cfg.seed, cfg.nprocs, self.rank, self.round);
             if view.msgs_received < owed {
                 return Op::WaitRecvMsgs { target: owed };
@@ -153,7 +153,7 @@ mod tests {
         };
         let mut progs: Vec<_> = (0..4).map(|r| w.program(r)).collect();
         let mut received = vec![0u64; 4];
-        let mut done = vec![false; 4];
+        let mut done = [false; 4];
         for _ in 0..10_000 {
             if done.iter().all(|&d| d) {
                 break;

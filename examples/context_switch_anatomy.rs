@@ -51,9 +51,18 @@ fn run(copy: CopyStrategy, show_trace: bool) {
         copy,
         w.stats.ledger.samples()
     );
-    println!("  halt (flush protocol) : {halt:>12.0} cycles ({:.2} ms)", halt / 200_000.0);
-    println!("  buffer switch         : {copy_c:>12.0} cycles ({:.2} ms)", copy_c / 200_000.0);
-    println!("  release protocol      : {release:>12.0} cycles ({:.2} ms)", release / 200_000.0);
+    println!(
+        "  halt (flush protocol) : {halt:>12.0} cycles ({:.2} ms)",
+        halt / 200_000.0
+    );
+    println!(
+        "  buffer switch         : {copy_c:>12.0} cycles ({:.2} ms)",
+        copy_c / 200_000.0
+    );
+    println!(
+        "  release protocol      : {release:>12.0} cycles ({:.2} ms)",
+        release / 200_000.0
+    );
     println!(
         "  => overhead on a 1 s gang quantum: {:.3}%",
         w.stats.ledger.overhead_pct(Cycles::from_secs(1))

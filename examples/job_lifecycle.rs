@@ -41,7 +41,10 @@ fn run(mode: InitMode) -> (Vec<String>, Cycles) {
 fn main() {
     println!("== Fig. 2 sequence (ParPar integration) ==");
     let (log, parpar_startup) = run(InitMode::ParPar);
-    for line in log.iter().filter(|l| l.contains("gang") || l.contains("fm")) {
+    for line in log
+        .iter()
+        .filter(|l| l.contains("gang") || l.contains("fm"))
+    {
         println!("{line}");
     }
     let (_, stock_startup) = run(InitMode::OriginalFm);

@@ -1,0 +1,344 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real criterion cannot be fetched. This shim implements the API surface
+//! the workspace's benches use — `Criterion`, benchmark groups,
+//! `bench_with_input`, `iter` / `iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros — with straightforward wall-clock measurement:
+//!
+//! * per-sample iteration count is auto-calibrated so one sample takes
+//!   roughly `CRITERION_SAMPLE_MS` milliseconds (default 5);
+//! * `sample_size` samples are collected (default 60) and the median,
+//!   mean and min per-iteration times are printed;
+//! * a positional command-line argument filters benchmarks by substring
+//!   (so `cargo bench --bench engine -- queue_depth` works as expected).
+//!
+//! There is no statistical regression testing, HTML report, or plotting.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batch setup cost relates to the routine (accepted, ignored: setup
+/// is always excluded from timing, one setup per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The first free-standing argument (after cargo-bench's own flags)
+        // is a name filter, as with real criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        Criterion {
+            sample_size: 60,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let outer_sample_size = self.sample_size;
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            outer_sample_size,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        self.run(&name, f);
+    }
+
+    fn run(&mut self, full_name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(full_name, &b.samples);
+    }
+}
+
+/// A named group; benchmarks in it are reported as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    outer_sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group's benchmarks (restored
+    /// when the group drops).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.c.sample_size = n;
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run(&full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark without an input value.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run(&full, f);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.c.sample_size = self.outer_sample_size;
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration seconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+/// Target wall time for one sample (`CRITERION_SAMPLE_MS`, default 5).
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5u64);
+    Duration::from_millis(ms.max(1))
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let budget = sample_budget();
+        // Calibrate: how many iterations fill one sample budget?
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= budget / 2 || iters >= 1 << 30 {
+                break;
+            }
+            // Aim straight for the budget once the timing is meaningful.
+            iters = if elapsed < Duration::from_micros(50) {
+                iters * 16
+            } else {
+                let scale = budget.as_secs_f64() / elapsed.as_secs_f64();
+                ((iters as f64 * scale) as u64).max(iters + 1)
+            };
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Measure `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // One setup per timed call: time only the routine.
+        self.samples.clear();
+        let budget = sample_budget();
+        // Calibrate iterations per sample on the routine alone.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= budget / 2 || iters >= 1 << 20 {
+                break;
+            }
+            iters = if elapsed < Duration::from_micros(50) {
+                iters * 16
+            } else {
+                let scale = budget.as_secs_f64() / elapsed.as_secs_f64();
+                ((iters as f64 * scale) as u64).max(iters + 1)
+            };
+        }
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<48} no samples collected");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let min = sorted[0];
+    println!(
+        "{name:<48} time: [median {:>10}  mean {:>10}  min {:>10}]  ({} samples)",
+        fmt_time(median),
+        fmt_time(mean),
+        fmt_time(min),
+        sorted.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Defines a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default().sample_size(3);
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        c.bench_function("smoke", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,447 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real proptest cannot be fetched. This shim implements exactly the API
+//! surface the workspace's property tests use — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, integer-range / tuple / `collection::vec` / `any`
+//! strategies — on top of a deterministic SplitMix64 generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking: a failing case reports its generated inputs verbatim;
+//! * case count comes from `PROPTEST_CASES` (default 256);
+//! * seeding is a deterministic hash of the test name, so failures
+//!   reproduce without a regressions file.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic generator driving all strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n > 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut m = (self.next_u64() as u128) * (n as u128);
+        if (m as u64) < n {
+            let t = n.wrapping_neg() % n;
+            while (m as u64) < t {
+                m = (self.next_u64() as u128) * (n as u128);
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// A value generator. The subset of proptest's `Strategy` the tests use:
+/// generation only, no shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f` of this strategy's values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among strategies of a common value type; built by
+/// [`prop_oneof!`].
+pub struct OneOf<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> OneOf<T> {
+    /// From `(weight, strategy)` pairs; total weight must be positive.
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(
+            options.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0,
+            "prop_oneof: zero total weight"
+        );
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Weighted strategy choice: `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>)),+
+        ])
+    };
+}
+
+/// The error type a property body may short-circuit with via `?`. In this
+/// shim assertion macros panic instead, so values of this type are rare.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-block configuration (`#![proptest_config(..)]`); only `cases` has
+/// an effect in this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run for each property in the block.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking in the shim).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: cases(),
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )+};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $idx:tt),+);)+) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if bool::arbitrary(rng) {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy: an arbitrary `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` with length drawn from `len` and elements
+    /// drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 256).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `f` for each case; on panic, re-panic with the case's inputs and
+/// reproduction info. `f` receives the RNG plus a slot it must fill with
+/// a human-readable description of the inputs it drew *before* running
+/// the body, so a failing case can report them.
+pub fn run_cases<F>(name: &str, f: F)
+where
+    F: FnMut(&mut TestRng, &mut String),
+{
+    run_cases_with(name, cases(), f)
+}
+
+/// [`run_cases`] with an explicit case count (from `proptest_config`).
+pub fn run_cases_with<F>(name: &str, ncases: u32, mut f: F)
+where
+    F: FnMut(&mut TestRng, &mut String),
+{
+    let base = seed_for(name);
+    for case in 0..ncases {
+        let mut rng = TestRng::new(base.wrapping_add(case as u64));
+        let mut desc = String::new();
+        let result = catch_unwind(AssertUnwindSafe(|| f(&mut rng, &mut desc)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            panic!("property '{name}' failed at case {case}/{ncases}:\n  {msg}\n  inputs:\n{desc}");
+        }
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Property-test entry point: generates inputs from the given strategies
+/// and runs the body for [`cases`] cases (or the count from an optional
+/// leading `#![proptest_config(..)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)+ }
+    };
+    ($($rest:tt)+) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)+ }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            // The body-wrapping closure is called in place so `return` /
+            // `?` inside property bodies behave as in real proptest.
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases_with(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __cfg.cases,
+                    |__rng, __desc| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                        $(__desc.push_str(&format!("    {} = {:?}\n", stringify!($arg), &$arg));)+
+                        let __res: ::std::result::Result<(), $crate::TestCaseError> =
+                            (|| { $body ::std::result::Result::Ok(()) })();
+                        if let ::std::result::Result::Err(e) = __res {
+                            panic!("{e}");
+                        }
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// `assert!` under a name the property tests already use.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the property tests already use.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the property tests already use.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let v = collection::vec(0u8..5, 2..9).generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::new(9);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::new(9);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_smoke(x in 0u64..100, pair in (0u8..4, any::<bool>())) {
+            prop_assert!(x < 100);
+            let (a, _b) = pair;
+            prop_assert!(a < 4);
+        }
+    }
+}

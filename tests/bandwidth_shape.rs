@@ -61,7 +61,12 @@ fn fig5_small_messages_waste_credits() {
     // 64 KB bandwidth.
     let small = fig5_cell(1, 64, 2000, 42);
     let large = fig5_cell(1, 65536, 150, 42);
-    assert!(small.mbps * 3.0 < large.mbps, "{} vs {}", small.mbps, large.mbps);
+    assert!(
+        small.mbps * 3.0 < large.mbps,
+        "{} vs {}",
+        small.mbps,
+        large.mbps
+    );
 }
 
 #[test]

@@ -31,6 +31,65 @@ fn same_seed_same_event_count_and_bandwidth() {
     assert_eq!(a, b);
 }
 
+/// Golden digests recorded from the seed engine (BinaryHeap pending queue,
+/// monolithic dispatcher) before the event-queue and event-bus refactors.
+/// The digest is FNV-1a over the delivered `(time, kind)` stream, so any
+/// change to event ordering, timing, or the stable kind mapping in
+/// `cluster::event::KIND_NAMES` shows up here. Identical in debug and
+/// release builds.
+mod golden {
+    /// 4 nodes / 2 slots / FullBuffer / 30 ms quantum / seed 77,
+    /// two P2pBandwidth(4096 B × 500) jobs pinned to nodes [0, 1].
+    pub const FULL_BUFFER_EVENTS: u64 = 18_197;
+    pub const FULL_BUFFER_DIGEST: u64 = 0xd76b_ef7d_1b3f_c15a;
+    /// 2 nodes / 4 slots / CachedEndpoints (max_contexts 2) / 25 ms
+    /// quantum / seed 1234, three P2pBandwidth(4096 B × 800) jobs on [0, 1].
+    pub const VN_CACHE_EVENTS: u64 = 43_422;
+    pub const VN_CACHE_DIGEST: u64 = 0xb1b5_b5ea_bd1b_8f67;
+}
+
+#[test]
+fn event_stream_digest_matches_pre_refactor_golden() {
+    // Scenario A: gang-scheduled buffer switching.
+    let mut cfg = ClusterConfig::parpar(4, 2, BufferPolicy::FullBuffer);
+    cfg.quantum = Cycles::from_ms(30);
+    cfg.seed = 77;
+    let mut sim = Sim::new(cfg);
+    let bench = P2pBandwidth::with_count(4096, 500);
+    sim.submit(&bench, Some(vec![0, 1])).unwrap();
+    sim.submit(&bench, Some(vec![0, 1])).unwrap();
+    assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(20)));
+    assert_eq!(sim.engine.events_processed(), golden::FULL_BUFFER_EVENTS);
+    assert_eq!(sim.engine.stream_digest(), golden::FULL_BUFFER_DIGEST);
+    assert_eq!(sim.engine.causality_clamps(), 0);
+    // Every event was classified: the per-kind counts sum to the total.
+    let counted: u64 = sim.engine.dispatch_counts().map(|(_, c)| c).sum();
+    assert_eq!(counted, sim.engine.events_processed());
+
+    // Scenario B: VN endpoint caching with faults.
+    let mut cfg = ClusterConfig::parpar(2, 4, BufferPolicy::CachedEndpoints);
+    cfg.fm.max_contexts = 2;
+    cfg.quantum = Cycles::from_ms(25);
+    cfg.seed = 1234;
+    let mut sim = Sim::new(cfg);
+    let bench = P2pBandwidth::with_count(4096, 800);
+    for _ in 0..3 {
+        sim.submit(&bench, Some(vec![0, 1])).unwrap();
+    }
+    assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(20)));
+    assert_eq!(sim.engine.events_processed(), golden::VN_CACHE_EVENTS);
+    assert_eq!(sim.engine.stream_digest(), golden::VN_CACHE_DIGEST);
+    assert_eq!(sim.engine.causality_clamps(), 0);
+    // Faults occurred, so the fault_done counter is live.
+    let faults = sim
+        .engine
+        .dispatch_counts()
+        .find(|(n, _)| *n == "fault_done")
+        .map(|(_, c)| c)
+        .unwrap();
+    assert!(faults > 0, "VN scenario should take endpoint faults");
+}
+
 #[test]
 fn fig_cells_are_reproducible() {
     let a = fig5_cell(3, 4096, 100, 5);
@@ -43,7 +102,10 @@ fn fig_cells_are_reproducible() {
 
     let a = switch_overhead_run(4, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 3, 5);
     let b = switch_overhead_run(4, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 3, 5);
-    assert_eq!(a.ledger.mean_total().to_bits(), b.ledger.mean_total().to_bits());
+    assert_eq!(
+        a.ledger.mean_total().to_bits(),
+        b.ledger.mean_total().to_bits()
+    );
     assert_eq!(a.queue_samples.len(), b.queue_samples.len());
 }
 

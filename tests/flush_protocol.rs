@@ -34,7 +34,9 @@ fn every_node_hears_every_other_node_halt_each_epoch() {
         let halts = w
             .trace
             .by_category(Category::Switch)
-            .filter(|r| r.node == Some(n) && r.msg.contains("halt from") && r.msg.contains("(epoch 1)"))
+            .filter(|r| {
+                r.node == Some(n) && r.msg.contains("halt from") && r.msg.contains("(epoch 1)")
+            })
             .count();
         assert_eq!(halts, nodes - 1, "node {n} halt count");
         let flushed = w

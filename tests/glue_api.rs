@@ -89,7 +89,10 @@ fn add_remove_node_membership() {
         assert_eq!(glue.add_node(SimTime::ZERO, 3), Err(CommError::BadPhase));
         // A node with a resident context cannot be removed.
         glue.init_job(SimTime::ZERO, 9, 0).unwrap();
-        assert_eq!(glue.remove_node(SimTime::ZERO, 0), Err(CommError::NoResources));
+        assert_eq!(
+            glue.remove_node(SimTime::ZERO, 0),
+            Err(CommError::NoResources)
+        );
     });
 }
 

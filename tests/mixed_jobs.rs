@@ -16,9 +16,22 @@ fn different_sized_jobs_pack_one_slot_and_run_concurrently() {
     cfg.auto_rotate = false;
     let mut sim = Sim::new(cfg);
     // Buddy placement packs these three into slot 0: sizes 4, 2, 2.
-    let a = sim.submit(&Ring { nprocs: 4, msg_bytes: 256, laps: 100 }, None).unwrap();
-    let b = sim.submit(&P2pBandwidth::with_count(2048, 200), None).unwrap();
-    let c = sim.submit(&P2pBandwidth::with_count(2048, 200), None).unwrap();
+    let a = sim
+        .submit(
+            &Ring {
+                nprocs: 4,
+                msg_bytes: 256,
+                laps: 100,
+            },
+            None,
+        )
+        .unwrap();
+    let b = sim
+        .submit(&P2pBandwidth::with_count(2048, 200), None)
+        .unwrap();
+    let c = sim
+        .submit(&P2pBandwidth::with_count(2048, 200), None)
+        .unwrap();
     {
         let w = sim.world();
         let slots: Vec<usize> = [a, b, c]
@@ -42,7 +55,14 @@ fn switches_with_partial_node_coverage_lose_nothing() {
     let mut sim = Sim::new(cfg);
     let all: Vec<usize> = (0..8).collect();
     let ring = sim
-        .submit(&Ring { nprocs: 8, msg_bytes: 512, laps: 600 }, Some(all))
+        .submit(
+            &Ring {
+                nprocs: 8,
+                msg_bytes: 512,
+                laps: 600,
+            },
+            Some(all),
+        )
         .unwrap();
     let p1 = sim
         .submit(&P2pBandwidth::with_count(4096, 800), Some(vec![0, 1]))

@@ -26,7 +26,11 @@ fn two_gang_scheduled_p2p_jobs_lose_nothing() {
     let j2 = sim.submit(&bench, Some(vec![0, 1])).unwrap();
     assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(30)));
     let w = sim.world();
-    assert!(w.stats.switches > 5, "want many switches, got {}", w.stats.switches);
+    assert!(
+        w.stats.switches > 5,
+        "want many switches, got {}",
+        w.stats.switches
+    );
     assert_eq!(w.stats.drops, 0);
     for j in [j1, j2] {
         assert!(w.stats.job_finished.contains_key(&j), "{j} unfinished");
@@ -65,7 +69,11 @@ fn all_to_all_under_full_copy_switches_loses_nothing() {
     let expect = 40 * 8 * 5; // rounds * burst * peers
     for n in &w.nodes {
         for p in n.apps.values() {
-            assert_eq!(p.fm.stats.msgs_received, expect, "{j1} {j2} rank {}", p.rank);
+            assert_eq!(
+                p.fm.stats.msgs_received, expect,
+                "{j1} {j2} rank {}",
+                p.rank
+            );
             assert_eq!(p.fm.stats.msgs_sent, expect);
         }
     }

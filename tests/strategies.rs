@@ -56,8 +56,7 @@ fn ack_drain_quiesces_without_broadcasts() {
     let (h16, _, _) = big.ledger.mean_stages();
     // Growth is much weaker than the flush protocol's broadcast collection.
     let flush6 = switch_overhead_run(6, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 4, 3);
-    let flush16 =
-        switch_overhead_run(16, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 4, 3);
+    let flush16 = switch_overhead_run(16, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 4, 3);
     let (f6, _, _) = flush6.ledger.mean_stages();
     let (f16, _, _) = flush16.ledger.mean_stages();
     let _ = (h6, h16, f6, f16); // magnitudes depend on traffic; assert sanity only

@@ -74,7 +74,10 @@ fn thrash_grows_with_jobs_over_slots() {
     let fits = run(2);
     let thrash = run(4);
     assert_eq!(fits, 0);
-    assert!(thrash > 4, "4 jobs over 2 slots should thrash, got {thrash}");
+    assert!(
+        thrash > 4,
+        "4 jobs over 2 slots should thrash, got {thrash}"
+    );
 }
 
 #[test]
