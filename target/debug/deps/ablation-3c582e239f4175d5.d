@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3c582e239f4175d5.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3c582e239f4175d5: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

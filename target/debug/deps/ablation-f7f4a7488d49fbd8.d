@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-f7f4a7488d49fbd8.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-f7f4a7488d49fbd8.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth_shape-e2501e1df6bfabb7.d: tests/bandwidth_shape.rs
+
+/root/repo/target/debug/deps/bandwidth_shape-e2501e1df6bfabb7: tests/bandwidth_shape.rs
+
+tests/bandwidth_shape.rs:

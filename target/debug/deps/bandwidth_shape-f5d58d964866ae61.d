@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bandwidth_shape-f5d58d964866ae61.d: tests/bandwidth_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbandwidth_shape-f5d58d964866ae61.rmeta: tests/bandwidth_shape.rs Cargo.toml
+
+tests/bandwidth_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_harness-857f8c3f620c00a0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_harness-857f8c3f620c00a0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench_harness-857f8c3f620c00a0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_harness-a2e63d67abf7719b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_harness-a2e63d67abf7719b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_harness-a841f368540caa4a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench_harness-a841f368540caa4a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

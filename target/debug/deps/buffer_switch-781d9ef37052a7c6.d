@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/buffer_switch-781d9ef37052a7c6.d: crates/bench/benches/buffer_switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuffer_switch-781d9ef37052a7c6.rmeta: crates/bench/benches/buffer_switch.rs Cargo.toml
+
+crates/bench/benches/buffer_switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/cluster-8ae3d00a59f138b1.d: crates/cluster/src/lib.rs crates/cluster/src/bus.rs crates/cluster/src/config.rs crates/cluster/src/event.rs crates/cluster/src/glue.rs crates/cluster/src/handlers/mod.rs crates/cluster/src/handlers/app.rs crates/cluster/src/handlers/daemon.rs crates/cluster/src/handlers/fm.rs crates/cluster/src/handlers/nic.rs crates/cluster/src/handlers/switch.rs crates/cluster/src/measure.rs crates/cluster/src/node.rs crates/cluster/src/procsim.rs crates/cluster/src/stats.rs crates/cluster/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-8ae3d00a59f138b1.rmeta: crates/cluster/src/lib.rs crates/cluster/src/bus.rs crates/cluster/src/config.rs crates/cluster/src/event.rs crates/cluster/src/glue.rs crates/cluster/src/handlers/mod.rs crates/cluster/src/handlers/app.rs crates/cluster/src/handlers/daemon.rs crates/cluster/src/handlers/fm.rs crates/cluster/src/handlers/nic.rs crates/cluster/src/handlers/switch.rs crates/cluster/src/measure.rs crates/cluster/src/node.rs crates/cluster/src/procsim.rs crates/cluster/src/stats.rs crates/cluster/src/world.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bus.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/event.rs:
+crates/cluster/src/glue.rs:
+crates/cluster/src/handlers/mod.rs:
+crates/cluster/src/handlers/app.rs:
+crates/cluster/src/handlers/daemon.rs:
+crates/cluster/src/handlers/fm.rs:
+crates/cluster/src/handlers/nic.rs:
+crates/cluster/src/handlers/switch.rs:
+crates/cluster/src/measure.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/procsim.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/cluster-df48c5506c5edeb8.d: crates/cluster/src/lib.rs crates/cluster/src/bus.rs crates/cluster/src/config.rs crates/cluster/src/event.rs crates/cluster/src/glue.rs crates/cluster/src/handlers/mod.rs crates/cluster/src/handlers/app.rs crates/cluster/src/handlers/daemon.rs crates/cluster/src/handlers/fm.rs crates/cluster/src/handlers/nic.rs crates/cluster/src/handlers/switch.rs crates/cluster/src/measure.rs crates/cluster/src/node.rs crates/cluster/src/procsim.rs crates/cluster/src/stats.rs crates/cluster/src/world.rs
+
+/root/repo/target/debug/deps/libcluster-df48c5506c5edeb8.rlib: crates/cluster/src/lib.rs crates/cluster/src/bus.rs crates/cluster/src/config.rs crates/cluster/src/event.rs crates/cluster/src/glue.rs crates/cluster/src/handlers/mod.rs crates/cluster/src/handlers/app.rs crates/cluster/src/handlers/daemon.rs crates/cluster/src/handlers/fm.rs crates/cluster/src/handlers/nic.rs crates/cluster/src/handlers/switch.rs crates/cluster/src/measure.rs crates/cluster/src/node.rs crates/cluster/src/procsim.rs crates/cluster/src/stats.rs crates/cluster/src/world.rs
+
+/root/repo/target/debug/deps/libcluster-df48c5506c5edeb8.rmeta: crates/cluster/src/lib.rs crates/cluster/src/bus.rs crates/cluster/src/config.rs crates/cluster/src/event.rs crates/cluster/src/glue.rs crates/cluster/src/handlers/mod.rs crates/cluster/src/handlers/app.rs crates/cluster/src/handlers/daemon.rs crates/cluster/src/handlers/fm.rs crates/cluster/src/handlers/nic.rs crates/cluster/src/handlers/switch.rs crates/cluster/src/measure.rs crates/cluster/src/node.rs crates/cluster/src/procsim.rs crates/cluster/src/stats.rs crates/cluster/src/world.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/bus.rs:
+crates/cluster/src/config.rs:
+crates/cluster/src/event.rs:
+crates/cluster/src/glue.rs:
+crates/cluster/src/handlers/mod.rs:
+crates/cluster/src/handlers/app.rs:
+crates/cluster/src/handlers/daemon.rs:
+crates/cluster/src/handlers/fm.rs:
+crates/cluster/src/handlers/nic.rs:
+crates/cluster/src/handlers/switch.rs:
+crates/cluster/src/measure.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/procsim.rs:
+crates/cluster/src/stats.rs:
+crates/cluster/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collectives-7353a490bfd8af1b.d: tests/collectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollectives-7353a490bfd8af1b.rmeta: tests/collectives.rs Cargo.toml
+
+tests/collectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collectives-adf2d91cad3b7fca.d: tests/collectives.rs
+
+/root/repo/target/debug/deps/collectives-adf2d91cad3b7fca: tests/collectives.rs
+
+tests/collectives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-be4e268b01af1f36.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-be4e268b01af1f36: tests/determinism.rs
+
+tests/determinism.rs:

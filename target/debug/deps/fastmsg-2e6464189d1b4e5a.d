@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fastmsg-2e6464189d1b4e5a.d: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs
+
+/root/repo/target/debug/deps/libfastmsg-2e6464189d1b4e5a.rlib: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs
+
+/root/repo/target/debug/deps/libfastmsg-2e6464189d1b4e5a.rmeta: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs
+
+crates/fastmsg/src/lib.rs:
+crates/fastmsg/src/config.rs:
+crates/fastmsg/src/costs.rs:
+crates/fastmsg/src/division.rs:
+crates/fastmsg/src/flow.rs:
+crates/fastmsg/src/init.rs:
+crates/fastmsg/src/packet.rs:
+crates/fastmsg/src/proc.rs:

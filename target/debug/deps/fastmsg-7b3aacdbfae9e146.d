@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastmsg-7b3aacdbfae9e146.d: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs
+
+/root/repo/target/debug/deps/fastmsg-7b3aacdbfae9e146: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs
+
+crates/fastmsg/src/lib.rs:
+crates/fastmsg/src/config.rs:
+crates/fastmsg/src/costs.rs:
+crates/fastmsg/src/division.rs:
+crates/fastmsg/src/flow.rs:
+crates/fastmsg/src/init.rs:
+crates/fastmsg/src/packet.rs:
+crates/fastmsg/src/proc.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fastmsg-e6f5e1ca5b8a083e.d: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastmsg-e6f5e1ca5b8a083e.rmeta: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs Cargo.toml
+
+crates/fastmsg/src/lib.rs:
+crates/fastmsg/src/config.rs:
+crates/fastmsg/src/costs.rs:
+crates/fastmsg/src/division.rs:
+crates/fastmsg/src/flow.rs:
+crates/fastmsg/src/init.rs:
+crates/fastmsg/src/packet.rs:
+crates/fastmsg/src/proc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-59f1ddacef4171c3.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-59f1ddacef4171c3: tests/fault_injection.rs
+
+tests/fault_injection.rs:

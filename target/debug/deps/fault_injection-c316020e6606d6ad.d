@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-c316020e6606d6ad.d: tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-c316020e6606d6ad.rmeta: tests/fault_injection.rs Cargo.toml
+
+tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

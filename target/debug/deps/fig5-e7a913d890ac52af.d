@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-e7a913d890ac52af.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-e7a913d890ac52af: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-bbdad3daf3fb0287.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-bbdad3daf3fb0287: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

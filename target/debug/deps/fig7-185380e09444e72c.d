@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-185380e09444e72c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-185380e09444e72c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

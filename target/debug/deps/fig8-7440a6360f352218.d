@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-7440a6360f352218.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-7440a6360f352218: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-42ac4d6cf0cfe8e2.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-42ac4d6cf0cfe8e2: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flush_protocol-7111bb89101e583f.d: tests/flush_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflush_protocol-7111bb89101e583f.rmeta: tests/flush_protocol.rs Cargo.toml
+
+tests/flush_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flush_protocol-d30e1374001ba09b.d: tests/flush_protocol.rs
+
+/root/repo/target/debug/deps/flush_protocol-d30e1374001ba09b: tests/flush_protocol.rs
+
+tests/flush_protocol.rs:

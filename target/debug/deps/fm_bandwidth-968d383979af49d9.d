@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fm_bandwidth-968d383979af49d9.d: crates/bench/benches/fm_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfm_bandwidth-968d383979af49d9.rmeta: crates/bench/benches/fm_bandwidth.rs Cargo.toml
+
+crates/bench/benches/fm_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

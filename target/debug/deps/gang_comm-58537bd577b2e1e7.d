@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gang_comm-58537bd577b2e1e7.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgang_comm-58537bd577b2e1e7.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/flush.rs:
+crates/core/src/overhead.rs:
+crates/core/src/sequencer.rs:
+crates/core/src/state.rs:
+crates/core/src/strategy.rs:
+crates/core/src/switcher.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gang_comm-7b168d1ce8e3d58d.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs
+
+/root/repo/target/debug/deps/gang_comm-7b168d1ce8e3d58d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/flush.rs:
+crates/core/src/overhead.rs:
+crates/core/src/sequencer.rs:
+crates/core/src/state.rs:
+crates/core/src/strategy.rs:
+crates/core/src/switcher.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gang_comm-be74197793f9ffe8.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs
+
+/root/repo/target/debug/deps/libgang_comm-be74197793f9ffe8.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs
+
+/root/repo/target/debug/deps/libgang_comm-be74197793f9ffe8.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/flush.rs:
+crates/core/src/overhead.rs:
+crates/core/src/sequencer.rs:
+crates/core/src/state.rs:
+crates/core/src/strategy.rs:
+crates/core/src/switcher.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gang_premise-349e52eb28474fd9.d: crates/bench/src/bin/gang_premise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgang_premise-349e52eb28474fd9.rmeta: crates/bench/src/bin/gang_premise.rs Cargo.toml
+
+crates/bench/src/bin/gang_premise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gang_premise-50607944af586fd2.d: tests/gang_premise.rs
+
+/root/repo/target/debug/deps/gang_premise-50607944af586fd2: tests/gang_premise.rs
+
+tests/gang_premise.rs:

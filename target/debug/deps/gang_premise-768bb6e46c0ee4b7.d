@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gang_premise-768bb6e46c0ee4b7.d: crates/bench/src/bin/gang_premise.rs
+
+/root/repo/target/debug/deps/gang_premise-768bb6e46c0ee4b7: crates/bench/src/bin/gang_premise.rs
+
+crates/bench/src/bin/gang_premise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gang_premise-94092925bb716ab4.d: tests/gang_premise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgang_premise-94092925bb716ab4.rmeta: tests/gang_premise.rs Cargo.toml
+
+tests/gang_premise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gang_premise-b4a63a251ceef8e5.d: crates/bench/src/bin/gang_premise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgang_premise-b4a63a251ceef8e5.rmeta: crates/bench/src/bin/gang_premise.rs Cargo.toml
+
+crates/bench/src/bin/gang_premise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gang_sched_comm-2670e1571ccbe162.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgang_sched_comm-2670e1571ccbe162.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gang_sched_comm-2e46058a628913f7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgang_sched_comm-2e46058a628913f7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgang_sched_comm-2e46058a628913f7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gang_sched_comm-76b19a679ee01087.d: src/lib.rs
+
+/root/repo/target/debug/deps/gang_sched_comm-76b19a679ee01087: src/lib.rs
+
+src/lib.rs:

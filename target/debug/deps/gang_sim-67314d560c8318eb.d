@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gang_sim-67314d560c8318eb.d: src/bin/gang-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgang_sim-67314d560c8318eb.rmeta: src/bin/gang-sim.rs Cargo.toml
+
+src/bin/gang-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

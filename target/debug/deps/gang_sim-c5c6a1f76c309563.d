@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gang_sim-c5c6a1f76c309563.d: src/bin/gang-sim.rs
+
+/root/repo/target/debug/deps/gang_sim-c5c6a1f76c309563: src/bin/gang-sim.rs
+
+src/bin/gang-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gang_sim-d0c446e040c34f91.d: src/bin/gang-sim.rs
+
+/root/repo/target/debug/deps/gang_sim-d0c446e040c34f91: src/bin/gang-sim.rs
+
+src/bin/gang-sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gang_sim-ebe511244d6ba28b.d: src/bin/gang-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgang_sim-ebe511244d6ba28b.rmeta: src/bin/gang-sim.rs Cargo.toml
+
+src/bin/gang-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/glue_api-1b9590a8448fa0cc.d: tests/glue_api.rs
+
+/root/repo/target/debug/deps/glue_api-1b9590a8448fa0cc: tests/glue_api.rs
+
+tests/glue_api.rs:

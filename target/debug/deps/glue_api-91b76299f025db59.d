@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/glue_api-91b76299f025db59.d: tests/glue_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libglue_api-91b76299f025db59.rmeta: tests/glue_api.rs Cargo.toml
+
+tests/glue_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

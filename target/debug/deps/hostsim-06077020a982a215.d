@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hostsim-06077020a982a215.d: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostsim-06077020a982a215.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs Cargo.toml
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/backing.rs:
+crates/hostsim/src/costs.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/pipe.rs:
+crates/hostsim/src/process.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hostsim-3811e0f8447b1364.d: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs
+
+/root/repo/target/debug/deps/hostsim-3811e0f8447b1364: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/backing.rs:
+crates/hostsim/src/costs.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/pipe.rs:
+crates/hostsim/src/process.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hostsim-c67f382974fa81a9.d: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs
+
+/root/repo/target/debug/deps/libhostsim-c67f382974fa81a9.rlib: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs
+
+/root/repo/target/debug/deps/libhostsim-c67f382974fa81a9.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/backing.rs:
+crates/hostsim/src/costs.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/pipe.rs:
+crates/hostsim/src/process.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/job_init-44ef787e7ff6a365.d: tests/job_init.rs
+
+/root/repo/target/debug/deps/job_init-44ef787e7ff6a365: tests/job_init.rs
+
+tests/job_init.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/job_init-9900c809ef363525.d: tests/job_init.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjob_init-9900c809ef363525.rmeta: tests/job_init.rs Cargo.toml
+
+tests/job_init.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jobrep_queue-39b1f98bb48f7d7e.d: tests/jobrep_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjobrep_queue-39b1f98bb48f7d7e.rmeta: tests/jobrep_queue.rs Cargo.toml
+
+tests/jobrep_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jobrep_queue-c2576014b35f37a1.d: tests/jobrep_queue.rs
+
+/root/repo/target/debug/deps/jobrep_queue-c2576014b35f37a1: tests/jobrep_queue.rs
+
+tests/jobrep_queue.rs:

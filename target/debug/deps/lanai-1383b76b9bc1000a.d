@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lanai-1383b76b9bc1000a.d: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs
+
+/root/repo/target/debug/deps/lanai-1383b76b9bc1000a: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs
+
+crates/lanai/src/lib.rs:
+crates/lanai/src/costs.rs:
+crates/lanai/src/nic.rs:
+crates/lanai/src/queue.rs:

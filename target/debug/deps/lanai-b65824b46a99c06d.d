@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lanai-b65824b46a99c06d.d: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanai-b65824b46a99c06d.rmeta: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs Cargo.toml
+
+crates/lanai/src/lib.rs:
+crates/lanai/src/costs.rs:
+crates/lanai/src/nic.rs:
+crates/lanai/src/queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lanai-ed20242e16847d41.d: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs
+
+/root/repo/target/debug/deps/liblanai-ed20242e16847d41.rlib: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs
+
+/root/repo/target/debug/deps/liblanai-ed20242e16847d41.rmeta: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs
+
+crates/lanai/src/lib.rs:
+crates/lanai/src/costs.rs:
+crates/lanai/src/nic.rs:
+crates/lanai/src/queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/latency-1fa272337f304d47.d: crates/bench/src/bin/latency.rs
+
+/root/repo/target/debug/deps/latency-1fa272337f304d47: crates/bench/src/bin/latency.rs
+
+crates/bench/src/bin/latency.rs:

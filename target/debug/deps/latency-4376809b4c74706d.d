@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-4376809b4c74706d.d: crates/bench/src/bin/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-4376809b4c74706d.rmeta: crates/bench/src/bin/latency.rs Cargo.toml
+
+crates/bench/src/bin/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

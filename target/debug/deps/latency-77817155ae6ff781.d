@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/latency-77817155ae6ff781.d: crates/bench/src/bin/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblatency-77817155ae6ff781.rmeta: crates/bench/src/bin/latency.rs Cargo.toml
+
+crates/bench/src/bin/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mixed_jobs-9d13f5dd2662fbfc.d: tests/mixed_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmixed_jobs-9d13f5dd2662fbfc.rmeta: tests/mixed_jobs.rs Cargo.toml
+
+tests/mixed_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mixed_jobs-d15ee6bcd4b6651b.d: tests/mixed_jobs.rs
+
+/root/repo/target/debug/deps/mixed_jobs-d15ee6bcd4b6651b: tests/mixed_jobs.rs
+
+tests/mixed_jobs.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/myrinet-39f383b5cc8095ee.d: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs
+
+/root/repo/target/debug/deps/myrinet-39f383b5cc8095ee: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs
+
+crates/myrinet/src/lib.rs:
+crates/myrinet/src/broadcast.rs:
+crates/myrinet/src/network.rs:
+crates/myrinet/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/myrinet-535ce34569eb4b81.d: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyrinet-535ce34569eb4b81.rmeta: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs Cargo.toml
+
+crates/myrinet/src/lib.rs:
+crates/myrinet/src/broadcast.rs:
+crates/myrinet/src/network.rs:
+crates/myrinet/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/myrinet-c4a62469ab1cac15.d: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs
+
+/root/repo/target/debug/deps/libmyrinet-c4a62469ab1cac15.rlib: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs
+
+/root/repo/target/debug/deps/libmyrinet-c4a62469ab1cac15.rmeta: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs
+
+crates/myrinet/src/lib.rs:
+crates/myrinet/src/broadcast.rs:
+crates/myrinet/src/network.rs:
+crates/myrinet/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nic_memory-192c0dc89d5d34ca.d: crates/bench/src/bin/nic_memory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnic_memory-192c0dc89d5d34ca.rmeta: crates/bench/src/bin/nic_memory.rs Cargo.toml
+
+crates/bench/src/bin/nic_memory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nic_memory-a3890203a96e0d88.d: crates/bench/src/bin/nic_memory.rs
+
+/root/repo/target/debug/deps/nic_memory-a3890203a96e0d88: crates/bench/src/bin/nic_memory.rs
+
+crates/bench/src/bin/nic_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_packet_loss-60610fe075259eff.d: tests/no_packet_loss.rs
+
+/root/repo/target/debug/deps/no_packet_loss-60610fe075259eff: tests/no_packet_loss.rs
+
+tests/no_packet_loss.rs:

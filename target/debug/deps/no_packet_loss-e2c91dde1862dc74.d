@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/no_packet_loss-e2c91dde1862dc74.d: tests/no_packet_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libno_packet_loss-e2c91dde1862dc74.rmeta: tests/no_packet_loss.rs Cargo.toml
+
+tests/no_packet_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overheads-50e02083ee12f75d.d: crates/bench/src/bin/overheads.rs
+
+/root/repo/target/debug/deps/overheads-50e02083ee12f75d: crates/bench/src/bin/overheads.rs
+
+crates/bench/src/bin/overheads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overheads-8d5359e605fe27d8.d: crates/bench/src/bin/overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverheads-8d5359e605fe27d8.rmeta: crates/bench/src/bin/overheads.rs Cargo.toml
+
+crates/bench/src/bin/overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overheads-ddb43fdaef2e7cf1.d: crates/bench/src/bin/overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverheads-ddb43fdaef2e7cf1.rmeta: crates/bench/src/bin/overheads.rs Cargo.toml
+
+crates/bench/src/bin/overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

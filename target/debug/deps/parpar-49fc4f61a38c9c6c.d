@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/parpar-49fc4f61a38c9c6c.d: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs
+
+/root/repo/target/debug/deps/libparpar-49fc4f61a38c9c6c.rlib: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs
+
+/root/repo/target/debug/deps/libparpar-49fc4f61a38c9c6c.rmeta: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs
+
+crates/parpar/src/lib.rs:
+crates/parpar/src/control.rs:
+crates/parpar/src/job.rs:
+crates/parpar/src/jobrep.rs:
+crates/parpar/src/masterd.rs:
+crates/parpar/src/matrix.rs:
+crates/parpar/src/noded.rs:
+crates/parpar/src/protocol.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parpar-b530507e017edc3a.d: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs
+
+/root/repo/target/debug/deps/parpar-b530507e017edc3a: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs
+
+crates/parpar/src/lib.rs:
+crates/parpar/src/control.rs:
+crates/parpar/src/job.rs:
+crates/parpar/src/jobrep.rs:
+crates/parpar/src/masterd.rs:
+crates/parpar/src/matrix.rs:
+crates/parpar/src/noded.rs:
+crates/parpar/src/protocol.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/parpar-da86941e57aa8ebe.d: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparpar-da86941e57aa8ebe.rmeta: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs Cargo.toml
+
+crates/parpar/src/lib.rs:
+crates/parpar/src/control.rs:
+crates/parpar/src/job.rs:
+crates/parpar/src/jobrep.rs:
+crates/parpar/src/masterd.rs:
+crates/parpar/src/matrix.rs:
+crates/parpar/src/noded.rs:
+crates/parpar/src/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

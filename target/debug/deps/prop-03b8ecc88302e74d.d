@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-03b8ecc88302e74d.d: crates/myrinet/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-03b8ecc88302e74d: crates/myrinet/tests/prop.rs
+
+crates/myrinet/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-10619a8496da273b.d: crates/lanai/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-10619a8496da273b: crates/lanai/tests/prop.rs
+
+crates/lanai/tests/prop.rs:

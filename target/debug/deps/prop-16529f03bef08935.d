@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-16529f03bef08935.d: crates/sim-core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-16529f03bef08935: crates/sim-core/tests/prop.rs
+
+crates/sim-core/tests/prop.rs:

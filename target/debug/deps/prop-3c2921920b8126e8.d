@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-3c2921920b8126e8.d: crates/hostsim/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-3c2921920b8126e8.rmeta: crates/hostsim/tests/prop.rs Cargo.toml
+
+crates/hostsim/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

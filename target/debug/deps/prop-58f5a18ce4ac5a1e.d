@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-58f5a18ce4ac5a1e.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-58f5a18ce4ac5a1e: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

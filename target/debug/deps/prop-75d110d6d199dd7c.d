@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-75d110d6d199dd7c.d: crates/core/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-75d110d6d199dd7c.rmeta: crates/core/tests/prop.rs Cargo.toml
+
+crates/core/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-7af9645ba97457cd.d: crates/sim-core/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-7af9645ba97457cd.rmeta: crates/sim-core/tests/prop.rs Cargo.toml
+
+crates/sim-core/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-99bf1da0e94eae01.d: crates/parpar/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-99bf1da0e94eae01.rmeta: crates/parpar/tests/prop.rs Cargo.toml
+
+crates/parpar/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-9e9f8aed33a599c5.d: crates/lanai/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-9e9f8aed33a599c5.rmeta: crates/lanai/tests/prop.rs Cargo.toml
+
+crates/lanai/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-b3c7f710fd270112.d: crates/hostsim/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-b3c7f710fd270112: crates/hostsim/tests/prop.rs
+
+crates/hostsim/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-c14fc11c3471a68b.d: crates/myrinet/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-c14fc11c3471a68b.rmeta: crates/myrinet/tests/prop.rs Cargo.toml
+
+crates/myrinet/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-e88402f6029e9ac7.d: crates/fastmsg/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-e88402f6029e9ac7: crates/fastmsg/tests/prop.rs
+
+crates/fastmsg/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-fae85806836a04e6.d: crates/parpar/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-fae85806836a04e6: crates/parpar/tests/prop.rs
+
+crates/parpar/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-fcbca79b197079da.d: crates/fastmsg/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-fcbca79b197079da.rmeta: crates/fastmsg/tests/prop.rs Cargo.toml
+
+crates/fastmsg/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-60e17d0555c5265d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-60e17d0555c5265d: tests/properties.rs
+
+tests/properties.rs:

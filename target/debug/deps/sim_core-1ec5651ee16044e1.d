@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sim_core-1ec5651ee16044e1.d: crates/sim-core/src/lib.rs crates/sim-core/src/engine.rs crates/sim-core/src/mem.rs crates/sim-core/src/queue.rs crates/sim-core/src/report.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_core-1ec5651ee16044e1.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/engine.rs crates/sim-core/src/mem.rs crates/sim-core/src/queue.rs crates/sim-core/src/report.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs Cargo.toml
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/engine.rs:
+crates/sim-core/src/mem.rs:
+crates/sim-core/src/queue.rs:
+crates/sim-core/src/report.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/stats.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sim_core-6cc67a9abac4ede7.d: crates/sim-core/src/lib.rs crates/sim-core/src/engine.rs crates/sim-core/src/mem.rs crates/sim-core/src/queue.rs crates/sim-core/src/report.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+
+/root/repo/target/debug/deps/libsim_core-6cc67a9abac4ede7.rlib: crates/sim-core/src/lib.rs crates/sim-core/src/engine.rs crates/sim-core/src/mem.rs crates/sim-core/src/queue.rs crates/sim-core/src/report.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+
+/root/repo/target/debug/deps/libsim_core-6cc67a9abac4ede7.rmeta: crates/sim-core/src/lib.rs crates/sim-core/src/engine.rs crates/sim-core/src/mem.rs crates/sim-core/src/queue.rs crates/sim-core/src/report.rs crates/sim-core/src/rng.rs crates/sim-core/src/stats.rs crates/sim-core/src/time.rs crates/sim-core/src/trace.rs
+
+crates/sim-core/src/lib.rs:
+crates/sim-core/src/engine.rs:
+crates/sim-core/src/mem.rs:
+crates/sim-core/src/queue.rs:
+crates/sim-core/src/report.rs:
+crates/sim-core/src/rng.rs:
+crates/sim-core/src/stats.rs:
+crates/sim-core/src/time.rs:
+crates/sim-core/src/trace.rs:

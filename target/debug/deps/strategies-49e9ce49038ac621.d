@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategies-49e9ce49038ac621.d: tests/strategies.rs
+
+/root/repo/target/debug/deps/strategies-49e9ce49038ac621: tests/strategies.rs
+
+tests/strategies.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategies-fa9d3297ae965073.d: tests/strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategies-fa9d3297ae965073.rmeta: tests/strategies.rs Cargo.toml
+
+tests/strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

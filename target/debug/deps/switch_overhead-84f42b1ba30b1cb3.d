@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/switch_overhead-84f42b1ba30b1cb3.d: tests/switch_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswitch_overhead-84f42b1ba30b1cb3.rmeta: tests/switch_overhead.rs Cargo.toml
+
+tests/switch_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_overhead-b3e8374c7a330dd0.d: tests/switch_overhead.rs
+
+/root/repo/target/debug/deps/switch_overhead-b3e8374c7a330dd0: tests/switch_overhead.rs
+
+tests/switch_overhead.rs:

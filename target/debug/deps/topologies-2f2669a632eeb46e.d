@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topologies-2f2669a632eeb46e.d: tests/topologies.rs
+
+/root/repo/target/debug/deps/topologies-2f2669a632eeb46e: tests/topologies.rs
+
+tests/topologies.rs:

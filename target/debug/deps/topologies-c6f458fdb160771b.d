@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topologies-c6f458fdb160771b.d: tests/topologies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopologies-c6f458fdb160771b.rmeta: tests/topologies.rs Cargo.toml
+
+tests/topologies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vn_cache-164b6bc38c997186.d: crates/bench/src/bin/vn_cache.rs
+
+/root/repo/target/debug/deps/vn_cache-164b6bc38c997186: crates/bench/src/bin/vn_cache.rs
+
+crates/bench/src/bin/vn_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vn_cache-5fea6ccc60f9f65a.d: crates/bench/src/bin/vn_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvn_cache-5fea6ccc60f9f65a.rmeta: crates/bench/src/bin/vn_cache.rs Cargo.toml
+
+crates/bench/src/bin/vn_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

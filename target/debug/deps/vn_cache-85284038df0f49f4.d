@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vn_cache-85284038df0f49f4.d: tests/vn_cache.rs
+
+/root/repo/target/debug/deps/vn_cache-85284038df0f49f4: tests/vn_cache.rs
+
+tests/vn_cache.rs:

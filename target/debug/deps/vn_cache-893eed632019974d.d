@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vn_cache-893eed632019974d.d: crates/bench/src/bin/vn_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvn_cache-893eed632019974d.rmeta: crates/bench/src/bin/vn_cache.rs Cargo.toml
+
+crates/bench/src/bin/vn_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

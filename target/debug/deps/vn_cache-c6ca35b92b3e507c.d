@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vn_cache-c6ca35b92b3e507c.d: tests/vn_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvn_cache-c6ca35b92b3e507c.rmeta: tests/vn_cache.rs Cargo.toml
+
+tests/vn_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

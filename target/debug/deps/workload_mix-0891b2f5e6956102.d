@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_mix-0891b2f5e6956102.d: tests/workload_mix.rs
+
+/root/repo/target/debug/deps/workload_mix-0891b2f5e6956102: tests/workload_mix.rs
+
+tests/workload_mix.rs:

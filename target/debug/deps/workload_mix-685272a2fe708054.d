@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_mix-685272a2fe708054.d: tests/workload_mix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_mix-685272a2fe708054.rmeta: tests/workload_mix.rs Cargo.toml
+
+tests/workload_mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

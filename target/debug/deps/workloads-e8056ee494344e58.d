@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/workloads-e8056ee494344e58.d: crates/workloads/src/lib.rs crates/workloads/src/alltoall.rs crates/workloads/src/bsp.rs crates/workloads/src/collectives.rs crates/workloads/src/p2p.rs crates/workloads/src/pairs.rs crates/workloads/src/pingpong.rs crates/workloads/src/program.rs crates/workloads/src/ring.rs
+
+/root/repo/target/debug/deps/workloads-e8056ee494344e58: crates/workloads/src/lib.rs crates/workloads/src/alltoall.rs crates/workloads/src/bsp.rs crates/workloads/src/collectives.rs crates/workloads/src/p2p.rs crates/workloads/src/pairs.rs crates/workloads/src/pingpong.rs crates/workloads/src/program.rs crates/workloads/src/ring.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/alltoall.rs:
+crates/workloads/src/bsp.rs:
+crates/workloads/src/collectives.rs:
+crates/workloads/src/p2p.rs:
+crates/workloads/src/pairs.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/program.rs:
+crates/workloads/src/ring.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/workloads-fd46bedd66b125e7.d: crates/workloads/src/lib.rs crates/workloads/src/alltoall.rs crates/workloads/src/bsp.rs crates/workloads/src/collectives.rs crates/workloads/src/p2p.rs crates/workloads/src/pairs.rs crates/workloads/src/pingpong.rs crates/workloads/src/program.rs crates/workloads/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-fd46bedd66b125e7.rmeta: crates/workloads/src/lib.rs crates/workloads/src/alltoall.rs crates/workloads/src/bsp.rs crates/workloads/src/collectives.rs crates/workloads/src/p2p.rs crates/workloads/src/pairs.rs crates/workloads/src/pingpong.rs crates/workloads/src/program.rs crates/workloads/src/ring.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/alltoall.rs:
+crates/workloads/src/bsp.rs:
+crates/workloads/src/collectives.rs:
+crates/workloads/src/p2p.rs:
+crates/workloads/src/pairs.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/program.rs:
+crates/workloads/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-06334582ad6f9a8b.d: crates/cluster/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-06334582ad6f9a8b.rmeta: crates/cluster/examples/calibrate.rs Cargo.toml
+
+crates/cluster/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-71e92bee24a73f8c.d: crates/cluster/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-71e92bee24a73f8c: crates/cluster/examples/calibrate.rs
+
+crates/cluster/examples/calibrate.rs:

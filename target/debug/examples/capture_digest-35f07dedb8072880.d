@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capture_digest-35f07dedb8072880.d: examples/capture_digest.rs
+
+/root/repo/target/debug/examples/capture_digest-35f07dedb8072880: examples/capture_digest.rs
+
+examples/capture_digest.rs:

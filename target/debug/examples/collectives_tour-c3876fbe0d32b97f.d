@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collectives_tour-c3876fbe0d32b97f.d: examples/collectives_tour.rs
+
+/root/repo/target/debug/examples/collectives_tour-c3876fbe0d32b97f: examples/collectives_tour.rs
+
+examples/collectives_tour.rs:

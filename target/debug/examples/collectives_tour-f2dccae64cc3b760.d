@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collectives_tour-f2dccae64cc3b760.d: examples/collectives_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollectives_tour-f2dccae64cc3b760.rmeta: examples/collectives_tour.rs Cargo.toml
+
+examples/collectives_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

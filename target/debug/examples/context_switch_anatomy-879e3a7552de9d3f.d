@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/context_switch_anatomy-879e3a7552de9d3f.d: examples/context_switch_anatomy.rs
+
+/root/repo/target/debug/examples/context_switch_anatomy-879e3a7552de9d3f: examples/context_switch_anatomy.rs
+
+examples/context_switch_anatomy.rs:

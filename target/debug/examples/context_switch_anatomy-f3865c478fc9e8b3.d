@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/context_switch_anatomy-f3865c478fc9e8b3.d: examples/context_switch_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontext_switch_anatomy-f3865c478fc9e8b3.rmeta: examples/context_switch_anatomy.rs Cargo.toml
+
+examples/context_switch_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_vn-b2e7366978d13d52.d: examples/dbg_vn.rs
+
+/root/repo/target/debug/examples/dbg_vn-b2e7366978d13d52: examples/dbg_vn.rs
+
+examples/dbg_vn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_modes-19ec33ffde74d5ba.d: examples/failure_modes.rs
+
+/root/repo/target/debug/examples/failure_modes-19ec33ffde74d5ba: examples/failure_modes.rs
+
+examples/failure_modes.rs:

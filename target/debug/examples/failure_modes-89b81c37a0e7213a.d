@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_modes-89b81c37a0e7213a.d: examples/failure_modes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_modes-89b81c37a0e7213a.rmeta: examples/failure_modes.rs Cargo.toml
+
+examples/failure_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/job_lifecycle-6278ef1d8d7c63f1.d: examples/job_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjob_lifecycle-6278ef1d8d7c63f1.rmeta: examples/job_lifecycle.rs Cargo.toml
+
+examples/job_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/job_lifecycle-dce842fe0a8a4bfa.d: examples/job_lifecycle.rs
+
+/root/repo/target/debug/examples/job_lifecycle-dce842fe0a8a4bfa: examples/job_lifecycle.rs
+
+examples/job_lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multiprogram_bandwidth-2a6806f8f794a5d7.d: examples/multiprogram_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultiprogram_bandwidth-2a6806f8f794a5d7.rmeta: examples/multiprogram_bandwidth.rs Cargo.toml
+
+examples/multiprogram_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multiprogram_bandwidth-480ebc96d62371d4.d: examples/multiprogram_bandwidth.rs
+
+/root/repo/target/debug/examples/multiprogram_bandwidth-480ebc96d62371d4: examples/multiprogram_bandwidth.rs
+
+examples/multiprogram_bandwidth.rs:

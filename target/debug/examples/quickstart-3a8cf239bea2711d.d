@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3a8cf239bea2711d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3a8cf239bea2711d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strategy_ablation-2165b84f72766e58.d: examples/strategy_ablation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrategy_ablation-2165b84f72766e58.rmeta: examples/strategy_ablation.rs Cargo.toml
+
+examples/strategy_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_ablation-28ae90c5164ed0e8.d: examples/strategy_ablation.rs
+
+/root/repo/target/debug/examples/strategy_ablation-28ae90c5164ed0e8: examples/strategy_ablation.rs
+
+examples/strategy_ablation.rs:

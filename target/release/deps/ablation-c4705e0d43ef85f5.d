@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-c4705e0d43ef85f5.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-c4705e0d43ef85f5: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

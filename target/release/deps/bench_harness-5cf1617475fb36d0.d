@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_harness-5cf1617475fb36d0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench_harness-5cf1617475fb36d0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench_harness-5cf1617475fb36d0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

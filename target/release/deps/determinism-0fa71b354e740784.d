@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-0fa71b354e740784.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-0fa71b354e740784: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-39293bf15b999a54.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-39293bf15b999a54: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

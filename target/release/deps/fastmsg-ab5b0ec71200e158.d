@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fastmsg-ab5b0ec71200e158.d: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs
+
+/root/repo/target/release/deps/libfastmsg-ab5b0ec71200e158.rlib: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs
+
+/root/repo/target/release/deps/libfastmsg-ab5b0ec71200e158.rmeta: crates/fastmsg/src/lib.rs crates/fastmsg/src/config.rs crates/fastmsg/src/costs.rs crates/fastmsg/src/division.rs crates/fastmsg/src/flow.rs crates/fastmsg/src/init.rs crates/fastmsg/src/packet.rs crates/fastmsg/src/proc.rs
+
+crates/fastmsg/src/lib.rs:
+crates/fastmsg/src/config.rs:
+crates/fastmsg/src/costs.rs:
+crates/fastmsg/src/division.rs:
+crates/fastmsg/src/flow.rs:
+crates/fastmsg/src/init.rs:
+crates/fastmsg/src/packet.rs:
+crates/fastmsg/src/proc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-9c88d1d71b759b2b.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-9c88d1d71b759b2b: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-908c0acd31a69f6d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-908c0acd31a69f6d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

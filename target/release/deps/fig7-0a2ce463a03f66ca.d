@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-0a2ce463a03f66ca.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-0a2ce463a03f66ca: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

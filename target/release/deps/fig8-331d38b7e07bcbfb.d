@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-331d38b7e07bcbfb.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-331d38b7e07bcbfb: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

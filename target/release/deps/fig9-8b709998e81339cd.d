@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-8b709998e81339cd.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-8b709998e81339cd: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

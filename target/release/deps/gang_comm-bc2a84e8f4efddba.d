@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gang_comm-bc2a84e8f4efddba.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs
+
+/root/repo/target/release/deps/libgang_comm-bc2a84e8f4efddba.rlib: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs
+
+/root/repo/target/release/deps/libgang_comm-bc2a84e8f4efddba.rmeta: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/flush.rs crates/core/src/overhead.rs crates/core/src/sequencer.rs crates/core/src/state.rs crates/core/src/strategy.rs crates/core/src/switcher.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/flush.rs:
+crates/core/src/overhead.rs:
+crates/core/src/sequencer.rs:
+crates/core/src/state.rs:
+crates/core/src/strategy.rs:
+crates/core/src/switcher.rs:

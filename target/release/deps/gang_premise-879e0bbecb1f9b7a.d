@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gang_premise-879e0bbecb1f9b7a.d: crates/bench/src/bin/gang_premise.rs
+
+/root/repo/target/release/deps/gang_premise-879e0bbecb1f9b7a: crates/bench/src/bin/gang_premise.rs
+
+crates/bench/src/bin/gang_premise.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gang_sched_comm-940a75659d9d14f4.d: src/lib.rs
+
+/root/repo/target/release/deps/libgang_sched_comm-940a75659d9d14f4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgang_sched_comm-940a75659d9d14f4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gang_sim-c0914de7b4ebc379.d: src/bin/gang-sim.rs
+
+/root/repo/target/release/deps/gang_sim-c0914de7b4ebc379: src/bin/gang-sim.rs
+
+src/bin/gang-sim.rs:

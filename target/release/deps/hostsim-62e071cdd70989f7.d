@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hostsim-62e071cdd70989f7.d: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs
+
+/root/repo/target/release/deps/libhostsim-62e071cdd70989f7.rlib: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs
+
+/root/repo/target/release/deps/libhostsim-62e071cdd70989f7.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/backing.rs crates/hostsim/src/costs.rs crates/hostsim/src/cpu.rs crates/hostsim/src/pipe.rs crates/hostsim/src/process.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/backing.rs:
+crates/hostsim/src/costs.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/pipe.rs:
+crates/hostsim/src/process.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lanai-2ab218190e6711c0.d: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs
+
+/root/repo/target/release/deps/liblanai-2ab218190e6711c0.rlib: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs
+
+/root/repo/target/release/deps/liblanai-2ab218190e6711c0.rmeta: crates/lanai/src/lib.rs crates/lanai/src/costs.rs crates/lanai/src/nic.rs crates/lanai/src/queue.rs
+
+crates/lanai/src/lib.rs:
+crates/lanai/src/costs.rs:
+crates/lanai/src/nic.rs:
+crates/lanai/src/queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/latency-f98ffc310e75e3d0.d: crates/bench/src/bin/latency.rs
+
+/root/repo/target/release/deps/latency-f98ffc310e75e3d0: crates/bench/src/bin/latency.rs
+
+crates/bench/src/bin/latency.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/myrinet-3ef25da9c85b5f0a.d: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs
+
+/root/repo/target/release/deps/libmyrinet-3ef25da9c85b5f0a.rlib: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs
+
+/root/repo/target/release/deps/libmyrinet-3ef25da9c85b5f0a.rmeta: crates/myrinet/src/lib.rs crates/myrinet/src/broadcast.rs crates/myrinet/src/network.rs crates/myrinet/src/topology.rs
+
+crates/myrinet/src/lib.rs:
+crates/myrinet/src/broadcast.rs:
+crates/myrinet/src/network.rs:
+crates/myrinet/src/topology.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nic_memory-31c3f6c65b5a9366.d: crates/bench/src/bin/nic_memory.rs
+
+/root/repo/target/release/deps/nic_memory-31c3f6c65b5a9366: crates/bench/src/bin/nic_memory.rs
+
+crates/bench/src/bin/nic_memory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overheads-bf2f893a4ee80878.d: crates/bench/src/bin/overheads.rs
+
+/root/repo/target/release/deps/overheads-bf2f893a4ee80878: crates/bench/src/bin/overheads.rs
+
+crates/bench/src/bin/overheads.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parpar-d41a41e1c0bfe324.d: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs
+
+/root/repo/target/release/deps/libparpar-d41a41e1c0bfe324.rlib: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs
+
+/root/repo/target/release/deps/libparpar-d41a41e1c0bfe324.rmeta: crates/parpar/src/lib.rs crates/parpar/src/control.rs crates/parpar/src/job.rs crates/parpar/src/jobrep.rs crates/parpar/src/masterd.rs crates/parpar/src/matrix.rs crates/parpar/src/noded.rs crates/parpar/src/protocol.rs
+
+crates/parpar/src/lib.rs:
+crates/parpar/src/control.rs:
+crates/parpar/src/job.rs:
+crates/parpar/src/jobrep.rs:
+crates/parpar/src/masterd.rs:
+crates/parpar/src/matrix.rs:
+crates/parpar/src/noded.rs:
+crates/parpar/src/protocol.rs:

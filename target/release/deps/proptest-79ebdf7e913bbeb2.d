@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-79ebdf7e913bbeb2.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-79ebdf7e913bbeb2.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-79ebdf7e913bbeb2.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

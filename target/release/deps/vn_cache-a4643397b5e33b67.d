@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vn_cache-a4643397b5e33b67.d: crates/bench/src/bin/vn_cache.rs
+
+/root/repo/target/release/deps/vn_cache-a4643397b5e33b67: crates/bench/src/bin/vn_cache.rs
+
+crates/bench/src/bin/vn_cache.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/workloads-8f0a8eb093423554.d: crates/workloads/src/lib.rs crates/workloads/src/alltoall.rs crates/workloads/src/bsp.rs crates/workloads/src/collectives.rs crates/workloads/src/p2p.rs crates/workloads/src/pairs.rs crates/workloads/src/pingpong.rs crates/workloads/src/program.rs crates/workloads/src/ring.rs
+
+/root/repo/target/release/deps/libworkloads-8f0a8eb093423554.rlib: crates/workloads/src/lib.rs crates/workloads/src/alltoall.rs crates/workloads/src/bsp.rs crates/workloads/src/collectives.rs crates/workloads/src/p2p.rs crates/workloads/src/pairs.rs crates/workloads/src/pingpong.rs crates/workloads/src/program.rs crates/workloads/src/ring.rs
+
+/root/repo/target/release/deps/libworkloads-8f0a8eb093423554.rmeta: crates/workloads/src/lib.rs crates/workloads/src/alltoall.rs crates/workloads/src/bsp.rs crates/workloads/src/collectives.rs crates/workloads/src/p2p.rs crates/workloads/src/pairs.rs crates/workloads/src/pingpong.rs crates/workloads/src/program.rs crates/workloads/src/ring.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/alltoall.rs:
+crates/workloads/src/bsp.rs:
+crates/workloads/src/collectives.rs:
+crates/workloads/src/p2p.rs:
+crates/workloads/src/pairs.rs:
+crates/workloads/src/pingpong.rs:
+crates/workloads/src/program.rs:
+crates/workloads/src/ring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capture_digest-5f04b08cd9e1e74a.d: examples/capture_digest.rs
+
+/root/repo/target/release/examples/capture_digest-5f04b08cd9e1e74a: examples/capture_digest.rs
+
+examples/capture_digest.rs:

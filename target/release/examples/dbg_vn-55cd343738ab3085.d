@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_vn-55cd343738ab3085.d: examples/dbg_vn.rs
+
+/root/repo/target/release/examples/dbg_vn-55cd343738ab3085: examples/dbg_vn.rs
+
+examples/dbg_vn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2434817577ab3397.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2434817577ab3397: examples/quickstart.rs
+
+examples/quickstart.rs:

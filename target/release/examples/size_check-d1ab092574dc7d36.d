@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/size_check-d1ab092574dc7d36.d: examples/size_check.rs
+
+/root/repo/target/release/examples/size_check-d1ab092574dc7d36: examples/size_check.rs
+
+examples/size_check.rs:
