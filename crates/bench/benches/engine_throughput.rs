@@ -1,0 +1,58 @@
+//! End-to-end engine throughput on the burst-friendly ring workload: the
+//! same fixed amount of *logical* work (heap pops + inline dispatches —
+//! identical in both modes, asserted in `tests/determinism.rs`) run
+//! packet-at-a-time (`batch = 0`) and with the packet-train fast path
+//! (`batch = 16`). Criterion reports wall time per run; dividing the fixed
+//! logical-event count (printed once at startup) by it gives events per
+//! second, so the two bars are directly comparable. The fast path's ISSUE
+//! target is ≥3× here.
+
+use cluster::{ClusterConfig, Sim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastmsg::division::BufferPolicy;
+use sim_core::time::{Cycles, SimTime};
+use std::hint::black_box;
+use workloads::ring::Ring;
+
+const LAPS: u64 = 4;
+
+fn run_ring(batch: usize) -> u64 {
+    let mut cfg = ClusterConfig::parpar(4, 1, BufferPolicy::StaticDivision);
+    cfg.auto_rotate = false;
+    cfg.seed = 42;
+    cfg.batch = batch;
+    let mut sim = Sim::new(cfg);
+    let w = Ring {
+        nprocs: 4,
+        msg_bytes: 1 << 20,
+        laps: LAPS,
+    };
+    sim.submit(&w, Some(vec![0, 1, 2, 3])).unwrap();
+    assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(600)));
+    sim.engine.logical_events()
+}
+
+fn bench_ring_throughput(c: &mut Criterion) {
+    // The logical-event count is the same in both modes; print it once so
+    // wall times convert to events/second on a shared axis.
+    let logical = run_ring(0);
+    assert_eq!(
+        logical,
+        run_ring(16),
+        "modes must do identical logical work"
+    );
+    println!("engine_throughput_ring_1mib: {logical} logical events per run");
+
+    let mut g = c.benchmark_group("engine_throughput_ring_1mib");
+    g.sample_size(10);
+    for batch in [0usize, 16] {
+        let label = if batch == 0 { "batch_off" } else { "batch_16" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &batch, |b, &batch| {
+            b.iter(|| black_box(run_ring(batch)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring_throughput);
+criterion_main!(benches);

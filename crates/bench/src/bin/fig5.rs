@@ -7,7 +7,7 @@
 //! ```
 
 use bench_harness::{fig5_count, par_sweep, HarnessOpts, FIG5_SIZES};
-use cluster::measure::fig5_cell;
+use cluster::measure::fig5_cell_batch;
 use sim_core::report::{Cell, Table};
 
 fn main() {
@@ -21,8 +21,9 @@ fn main() {
     }
     let seed = opts.seed;
     let full = opts.full;
+    let batch = opts.batch;
     let results = par_sweep(params.clone(), |&(n, sz)| {
-        fig5_cell(n, sz, fig5_count(sz, full), seed)
+        fig5_cell_batch(n, sz, fig5_count(sz, full), seed, batch)
     });
 
     let mut headers: Vec<String> = vec!["contexts".into(), "C0".into()];

@@ -10,7 +10,7 @@
 //! ```
 
 use bench_harness::{par_sweep, HarnessOpts, FIG6_SIZES};
-use cluster::measure::fig6_cell;
+use cluster::measure::fig6_cell_batch;
 use sim_core::report::{Cell, Table};
 use sim_core::time::Cycles;
 
@@ -29,7 +29,10 @@ fn main() {
         }
     }
     let seed = opts.seed;
-    let results = par_sweep(params, |&(k, sz)| fig6_cell(k, sz, quantum, window, seed));
+    let batch = opts.batch;
+    let results = par_sweep(params, |&(k, sz)| {
+        fig6_cell_batch(k, sz, quantum, window, seed, batch)
+    });
 
     let mut headers: Vec<String> = vec!["jobs".into(), "C0".into(), "switches".into()];
     headers.extend(FIG6_SIZES.iter().map(|s| format!("{s}B MB/s")));

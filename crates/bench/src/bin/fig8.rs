@@ -7,7 +7,7 @@
 //! ```
 
 use bench_harness::{par_sweep, HarnessOpts, FIG7_NODES};
-use cluster::measure::switch_overhead_run;
+use cluster::measure::switch_overhead_run_batch;
 use gang_comm::strategy::SwitchStrategy;
 use gang_comm::switcher::CopyStrategy;
 use sim_core::report::{Cell, Table};
@@ -16,13 +16,15 @@ fn main() {
     let opts = HarnessOpts::from_args();
     let switches = if opts.full { 12 } else { 5 };
     let seed = opts.seed;
+    let batch = opts.batch;
     let results = par_sweep(FIG7_NODES.to_vec(), |&nodes| {
-        switch_overhead_run(
+        switch_overhead_run_batch(
             nodes,
             CopyStrategy::ValidOnly,
             SwitchStrategy::GangFlush,
             switches,
             seed,
+            batch,
         )
     });
     let mut table = Table::new(

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sim_core::report::Table;
 
@@ -26,17 +27,26 @@ pub struct HarnessOpts {
     pub csv: Option<PathBuf>,
     /// Simulation seed.
     pub seed: u64,
+    /// Fragment-burst coalescing limit: 0 = off (packet-at-a-time),
+    /// `k` = coalesce up to `k` fragments per engine event.
+    pub batch: usize,
 }
 
 impl HarnessOpts {
     /// Parse from `std::env::args`.
     pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument list (exposed for tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut opts = HarnessOpts {
             full: false,
             csv: None,
             seed: 42,
+            batch: 0,
         };
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => opts.full = true,
@@ -51,10 +61,25 @@ impl HarnessOpts {
                         .expect("seed must be an integer");
                 }
                 "--help" | "-h" => {
-                    eprintln!("flags: --full --csv DIR --seed N");
+                    eprintln!("flags: --full --csv DIR --seed N --batch off|K");
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag {other}"),
+                other => match other.strip_prefix("--batch") {
+                    Some(rest) => {
+                        let v = match rest.strip_prefix('=') {
+                            Some(v) => v.to_string(),
+                            None if rest.is_empty() => {
+                                args.next().expect("--batch needs off or a burst size")
+                            }
+                            _ => panic!("unknown flag {other}"),
+                        };
+                        opts.batch = match v.as_str() {
+                            "off" => 0,
+                            k => k.parse().expect("--batch takes off or an integer"),
+                        };
+                    }
+                    None => panic!("unknown flag {other}"),
+                },
             }
         }
         opts
@@ -72,25 +97,49 @@ impl HarnessOpts {
     }
 }
 
-/// Run `f` over `params` in parallel (one scoped thread per parameter, the
-/// simulations are independent and deterministic), preserving order.
+/// Worker count used by [`par_sweep`]: one per available core.
+pub fn sweep_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `params` on a bounded worker pool ([`sweep_pool_size`]
+/// threads; the simulations are independent and deterministic), preserving
+/// parameter order in the results. Workers pull the next parameter from a
+/// shared counter, so at most `pool_size` cells run at once no matter how
+/// large the sweep is.
 pub fn par_sweep<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
 where
     P: Send + Sync,
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
-    let mut out: Vec<Option<R>> = params.iter().map(|_| None).collect();
+    let workers = sweep_pool_size().min(params.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut batches: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, p) in params.iter().enumerate() {
-            let fref = &f;
-            handles.push((i, s.spawn(move || fref(p))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("sweep worker panicked"));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(p) = params.get(i) else { break };
+                        local.push((i, f(p)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            batches.push(h.join().expect("sweep worker panicked"));
         }
     });
+    let mut out: Vec<Option<R>> = params.iter().map(|_| None).collect();
+    for (i, r) in batches.into_iter().flatten() {
+        out[i] = Some(r);
+    }
     out.into_iter().map(Option::unwrap).collect()
 }
 
@@ -130,6 +179,39 @@ mod tests {
     fn par_sweep_preserves_order() {
         let r = par_sweep((0..20).collect(), |&x: &i32| x * x);
         assert_eq!(r, (0..20).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_sweep_never_exceeds_pool_size() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let r = par_sweep((0..1000).collect(), |&x: &i32| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::yield_now();
+            live.fetch_sub(1, Ordering::SeqCst);
+            x + 1
+        });
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r[999], 1000);
+        let peak = peak.load(Ordering::SeqCst);
+        assert!(
+            peak <= sweep_pool_size(),
+            "{peak} live workers exceeds pool of {}",
+            sweep_pool_size()
+        );
+    }
+
+    #[test]
+    fn batch_flag_parses() {
+        let parse = |args: &[&str]| HarnessOpts::parse(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]).batch, 0);
+        assert_eq!(parse(&["--batch=off"]).batch, 0);
+        assert_eq!(parse(&["--batch=16"]).batch, 16);
+        assert_eq!(parse(&["--batch", "8"]).batch, 8);
+        let o = parse(&["--full", "--batch=4", "--seed", "9"]);
+        assert!(o.full);
+        assert_eq!((o.batch, o.seed), (4, 9));
     }
 
     #[test]

@@ -77,6 +77,13 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Trace ring capacity; 0 disables tracing.
     pub trace_capacity: usize,
+    /// Packet-train run-ahead batch: after each engine dispatch the world
+    /// may handle up to `batch - 1` of its own follow-up events inline
+    /// (heap-free), as long as each provably precedes every other pending
+    /// event. `0` or `1` disables the fast path. Observable behavior —
+    /// timestamps, credits, stats, figure CSVs — is identical at any
+    /// setting; only engine dispatch counts and wall-clock change.
+    pub batch: usize,
 }
 
 impl ClusterConfig {
@@ -104,6 +111,7 @@ impl ClusterConfig {
             wire_loss_ppm: 0,
             seed: 0x9a1b_2c3d,
             trace_capacity: 0,
+            batch: 0,
         }
     }
 

@@ -74,6 +74,15 @@ impl AppHandler for World {
     }
 
     fn drain_pending_refills(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        // Hot-path gate: deferred refills are rare (send queue was full at
+        // refill time); skip the allocation below when there are none.
+        if !self.nodes[node]
+            .apps
+            .values()
+            .any(|p| !p.pending_refills.is_empty() && p.phase != ProcPhase::Finished)
+        {
+            return;
+        }
         let pids: Vec<Pid> = self.nodes[node]
             .apps
             .iter()
@@ -446,6 +455,12 @@ impl World {
             .push(pkt)
             .expect("send queue overflowed despite the space check");
         self.vn_touch(now, node, job);
+        // Packet-train fast path: fuse the uncontended tail of this message
+        // into a burst. On success it has already accounted for the engine
+        // kick and the process step; on failure nothing changed.
+        if self.try_burst(now, node, pid, ctx_id, bus) {
+            return;
+        }
         self.kick_send_engine(now, node, bus);
         self.proc_kick(now, node, pid, bus);
     }

@@ -1,0 +1,482 @@
+//! The packet-train burst fast path.
+//!
+//! When a sender streams a large message fragment-by-fragment, the
+//! unbatched engine processes five to six events per fragment (host
+//! injection done, send engine done, frame arrival, receive engine done,
+//! extract done, plus a receiver kick), every one of which re-derives the
+//! same uncontended state. This module coalesces up to `cfg.batch`
+//! back-to-back fragments of one message into a single fused *burst*,
+//! committed with the very same primitive calls — CPU/NIC-engine
+//! reservations, [`myrinet::network::Network::transmit`], credit
+//! consumption, [`fastmsg::proc::FmProcess::on_extract`] — in per-resource
+//! chronological order, and expands back to real events only at the burst
+//! boundary.
+//!
+//! **Observable equivalence.** A fragment is fused only when its entire
+//! event chain is provably identical to what packet-at-a-time dispatch
+//! would produce:
+//!
+//! - every fused effect lands strictly before the next foreign event
+//!   (`limit`) and inside the driver's fence, so no other handler can
+//!   observe the intermediate states we skip;
+//! - each elided `SendEngineDone` fires no later than the next fragment's
+//!   injection completes, so the engine pickup happens at the HostOpDone
+//!   instant exactly as in the unbatched path, and the elided handler's
+//!   scans are no-ops (the entry preconditions pin every branch);
+//! - the receiver ring's momentary occupancy never exceeds one packet,
+//!   keeping pop order and high-water marks exact;
+//! - a fragment whose extract crosses the receiver's credit low-water
+//!   mark is fused *with* its dedicated refill: the refill's send-side
+//!   commits with the receiver's real engine/network primitives, and its
+//!   landing on the sender commits once the host clock passes its arrival
+//!   (or survives the burst as a real `FrameArrive`);
+//! - no fused fragment is a message's last and the sender's credit window
+//!   never empties, so no message completion or block transition is
+//!   skipped.
+//!
+//! Anything the checks cannot prove falls back to the generic path —
+//! `try_burst` returns `false` having mutated nothing.
+
+use fastmsg::packet::{fragment_payload, Packet, HEADER_BYTES};
+use hostsim::process::Pid;
+use sim_core::time::{Cycles, SimTime};
+
+use crate::bus::Bus;
+use crate::event::{AppEvent, Frame, HostOp, NicEvent};
+use crate::handlers::{AppHandler, FmHandler};
+use crate::procsim::{BlockReason, ProcPhase};
+use crate::world::World;
+
+impl World {
+    /// Try to run a fused packet train for the message `pid` on `node` is
+    /// sending. Called from `complete_send_fragment` right after fragment
+    /// `sp.next_frag - 1` was pushed into context `ctx_id`'s send queue.
+    ///
+    /// Returns `true` if at least one fragment was fused; the caller must
+    /// then skip its own `kick_send_engine`/`proc_kick` (the burst already
+    /// accounted for them). Returns `false` — with the world untouched —
+    /// when any precondition fails.
+    pub(crate) fn try_burst(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        ctx_id: usize,
+        bus: &mut Bus,
+    ) -> bool {
+        // Deferred-bus mode only (cfg.batch >= 2): the window tells us how
+        // far we may run ahead without interleaving with foreign events.
+        let Some((limit, fence)) = bus.run_ahead_window() else {
+            return false;
+        };
+        // Configurations with per-packet side effects the fused loop does
+        // not model take the generic path.
+        if self.cfg.wire_loss_ppm > 0
+            || self.cfg.strategy.uses_acks()
+            || (self.cfg.dynamic_coscheduling && !self.cfg.gang_scheduling)
+            || self.vn_active()
+        {
+            return false;
+        }
+
+        // --- Sender-side preconditions (all read-only) ---
+        let (dst, job, job_id, first_idx, bytes, dst_rank, m_credits, frags_left) = {
+            let s = &self.nodes[node];
+            if s.send_engine_busy || s.halt_requested || s.nic.halt_bit() || !s.in_service {
+                return false;
+            }
+            let Some(sproc) = s.apps.get(&pid) else {
+                return false;
+            };
+            // `sending` is Some iff fragments remain after the one just
+            // pushed — a burst never fuses a message's last fragment.
+            let Some(sp) = sproc.sending else {
+                return false;
+            };
+            if sproc.phase != ProcPhase::Running
+                || sproc.blocked.is_some()
+                || sproc.deferred_pkt.is_some()
+                || !s.procs.get(pid).is_some_and(|p| p.is_active())
+            {
+                return false;
+            }
+            let dst = sproc.fm.host_of(sp.dst_rank);
+            if dst == node {
+                return false;
+            }
+            // The just-pushed fragment must be the only queued packet on
+            // this NIC, so the engine scan deterministically picks it and
+            // the elided SendEngineDone handlers find nothing to do.
+            let Some(ctx) = s.nic.context(ctx_id) else {
+                return false;
+            };
+            if ctx.send_q.len() != 1 || s.nic.send_q_occupancy() != 1 {
+                return false;
+            }
+            // Elided SendEngineDone handlers scan for SendSpace-blocked or
+            // finished processes and drain pending refills: require all of
+            // those scans to be no-ops.
+            for p in s.apps.values() {
+                if p.blocked == Some(BlockReason::SendSpace)
+                    || p.phase == ProcPhase::Finished
+                    || !p.pending_refills.is_empty()
+                {
+                    return false;
+                }
+            }
+            let job = sproc.fm.job;
+            debug_assert!(sp.next_frag >= 1 && sp.next_frag < sp.nfrags);
+            (
+                dst,
+                job,
+                sproc.job,
+                sp.next_frag - 1,
+                sp.bytes,
+                sp.dst_rank,
+                sproc.fm.flow.credits(dst),
+                sp.nfrags - sp.next_frag,
+            )
+        };
+
+        // --- Receiver-side preconditions (all read-only) ---
+        let Some(rpid) = self.find_proc_by_job(dst, job) else {
+            return false;
+        };
+        let rctx_id = {
+            let r = &self.nodes[dst];
+            // A fused refill needs the receiver's send path idle, and the
+            // elided SendEngineDone it skips scans the receiver's apps the
+            // same way the sender-side one does.
+            if r.nic.halt_bit()
+                || !r.in_service
+                || r.send_engine_busy
+                || r.nic.send_q_occupancy() != 0
+            {
+                return false;
+            }
+            let Some(rctx_id) = r.nic.find_context(job) else {
+                return false;
+            };
+            if !r.nic.context(rctx_id).unwrap().recv_q.is_empty() {
+                return false;
+            }
+            for p in r.apps.values() {
+                if p.blocked == Some(BlockReason::SendSpace)
+                    || p.phase == ProcPhase::Finished
+                    || !p.pending_refills.is_empty()
+                {
+                    return false;
+                }
+            }
+            let rproc = &r.apps[&rpid];
+            if rproc.busy
+                || rproc.phase != ProcPhase::Running
+                || !matches!(rproc.blocked, Some(BlockReason::RecvWait { .. }))
+                || rproc.deferred_pkt.is_some()
+                || !r.procs.get(rpid).is_some_and(|p| p.is_active())
+            {
+                return false;
+            }
+            rctx_id
+        };
+
+        // Most fragments this burst may fuse: the batch knob and the
+        // fragments left before the message's last one. Credits are
+        // tracked live below (fused refills can top the window back up).
+        let m_max = self.cfg.batch.min(frags_left as usize);
+        if m_max == 0 {
+            return false;
+        }
+
+        let send_pp = self.nodes[node].nic.costs.send_per_packet;
+        let extract = self.cfg.fm_costs.extract_per_packet;
+        // The bandwidth meter the fused extracts feed; taken out of the
+        // stats map so the loop below holds no borrow on `self.stats`.
+        // Created lazily like complete_extract's entry().or_default() —
+        // but only re-inserted if something was actually recorded, so a
+        // fully-declined burst leaves the map untouched.
+        let had_meter = self.stats.job_bw.contains_key(&job_id);
+        let mut meter = if had_meter {
+            std::mem::take(self.stats.job_bw.get_mut(&job_id).unwrap())
+        } else {
+            Default::default()
+        };
+
+        let mut fused: usize = 0;
+        let mut p_kicks: u64 = 0;
+        let mut h = now; // host CPU completion of fragment F's injection
+        let mut h_claim = now; // event time of the last fused HostOpDone
+        let mut last_inj = now;
+        let mut prev_x_start = SimTime::ZERO;
+        let mut prev_x_end = SimTime::ZERO;
+        // Event time of the last committed receiver-engine operation;
+        // later operations must not precede it.
+        let mut r_chrono = SimTime::ZERO;
+        // Sender credits toward dst, tracked live across fused refills.
+        let mut credits_avail = m_credits;
+        // A fused refill in flight toward the sender: (arrival, sender
+        // receive-engine work, packet), plus the event time that claims
+        // its FrameArrive in the unbatched order.
+        let mut pending_refill: Option<(SimTime, Cycles, Packet)> = None;
+        let mut refill_claim: SimTime = SimTime::ZERO;
+        let mut refill_elided: u64 = 0;
+
+        // A refill still in flight at the boundary would survive as a real
+        // FrameArrive and fence off the next burst's window, so a burst
+        // with a refill in the air may run a few fragments past the batch
+        // knob to land it. `frags_left` still caps the overrun: the
+        // message's last fragment is never fused.
+        let hard_max = (m_max + 4).min(frags_left as usize);
+        while fused < m_max || (pending_refill.is_some() && fused < hard_max) {
+            let f_idx = first_idx + fused as u64;
+            let wire = HEADER_BYTES + fragment_payload(bytes, f_idx);
+
+            // Land an in-flight fused refill once the host clock passes
+            // its arrival: the sender's receive engine absorbs it and the
+            // credits come home before this fragment's advance, exactly
+            // when the unbatched FrameArrive/RecvEngineDone pair would run.
+            if let Some((arr_r, w_r, _)) = pending_refill {
+                if arr_r <= h {
+                    let land_end = arr_r.max(self.nodes[node].nic.engine_free()) + w_r;
+                    if land_end > h {
+                        break;
+                    }
+                    let (_, _, pkt_r) = pending_refill.take().unwrap();
+                    let s = &mut self.nodes[node];
+                    let land_real = s.nic.reserve_engine(arr_r, w_r);
+                    debug_assert_eq!(land_real, land_end);
+                    s.nic.stats.data_received += 1;
+                    credits_avail += pkt_r.piggyback_credits as usize;
+                    s.apps.get_mut(&pid).unwrap().fm.on_refill(&pkt_r);
+                    refill_elided += 2; // FrameArrive + RecvEngineDone
+                }
+            }
+
+            // -- Candidate times, computed read-only --
+            // The elided SendEngineDone for the previous fragment must
+            // fire no later than this fragment's injection completes, or
+            // the unbatched engine would defer the pickup to that instant.
+            if fused > 0 && last_inj > h {
+                break;
+            }
+            // The advance below consumes a credit for fragment f_idx + 1.
+            if credits_avail == 0 {
+                break;
+            }
+            let fw = h.max(self.nodes[node].nic.engine_free()) + send_pp;
+            let cand = self.net.peek_transmit(fw, node, dst, wire);
+            // Receiver-engine work must commit in event-time order; a
+            // fused refill send may have pushed r_chrono past this arrival.
+            if fused > 0 && cand.arrival <= r_chrono {
+                break;
+            }
+            let r = &self.nodes[dst];
+            let recv_work = r.nic.costs.recv_cycles(wire);
+            let recv_end = cand.arrival.max(r.nic.engine_free()) + recv_work;
+            if fused > 0 && (recv_end <= prev_x_start || recv_end == prev_x_end) {
+                // <= prev_x_start would put two packets in the receive ring
+                // at once; == prev_x_end is a same-instant tie whose event
+                // order we would have to re-derive — both end the burst.
+                break;
+            }
+            let x_start = recv_end.max(r.cpu.next_free());
+            let x_end = x_start + extract;
+            // x_end dominates every instant in this fragment's chain: all
+            // fused effects stay ahead of foreign events and the fence.
+            if x_end >= limit || x_end > fence {
+                break;
+            }
+            // Does this extract cross the receiver's low-water mark? Then
+            // it sends a dedicated refill, which we fuse too: candidate
+            // its send-side chain now, commit it with the fragment.
+            let will_refill = r.apps[&rpid].fm.flow.packets_until_refill(node) == 0;
+            let mut refill_cand = None;
+            if will_refill {
+                if pending_refill.is_some() {
+                    // At most one fused refill in flight at a time.
+                    break;
+                }
+                let refill_wire = HEADER_BYTES; // zero-payload wire size
+                let fwr = x_end.max(recv_end) + send_pp;
+                let txr = self.net.peek_transmit(fwr, dst, node, refill_wire);
+                if txr.injection_done >= limit || txr.injection_done > fence {
+                    break;
+                }
+                let w_r = self.nodes[node].nic.costs.recv_cycles(refill_wire);
+                refill_cand = Some((fwr, txr, w_r));
+            }
+
+            // -- Commit fragment f_idx with the real primitives --
+            let pkt = {
+                let s = &mut self.nodes[node];
+                let pkt = if fused == 0 {
+                    s.nic
+                        .context_mut(ctx_id)
+                        .unwrap()
+                        .send_q
+                        .pop()
+                        .expect("burst: checked send_q.len() == 1")
+                } else {
+                    s.apps
+                        .get_mut(&pid)
+                        .unwrap()
+                        .fm
+                        .make_fragment(dst_rank, bytes, f_idx)
+                };
+                debug_assert_eq!(pkt.dst_host, dst);
+                debug_assert_eq!(pkt.wire_bytes(), wire);
+                debug_assert!(!pkt.last_fragment);
+                let fw_real = s.nic.reserve_engine(h, send_pp);
+                debug_assert_eq!(fw_real, fw);
+                pkt
+            };
+            let tx = self.net.transmit(fw, node, dst, wire);
+            debug_assert_eq!(tx, cand);
+            {
+                let s = &mut self.nodes[node];
+                s.nic.engine_extend_to(tx.injection_done);
+                s.nic.stats.data_sent += 1;
+            }
+            last_inj = tx.injection_done;
+
+            if fused == 0 || recv_end > prev_x_end {
+                // The landing would have found the receiver idle and
+                // emitted a ProcKick; it is elided but must be counted.
+                p_kicks += 1;
+            }
+            let ex = {
+                let r = &mut self.nodes[dst];
+                let recv_real = r.nic.reserve_engine(tx.arrival, recv_work);
+                debug_assert_eq!(recv_real, recv_end);
+                r.nic.stats.data_received += 1;
+                let res = r.cpu.reserve(recv_end, extract);
+                debug_assert_eq!(res.start, x_start);
+                debug_assert_eq!(res.end, x_end);
+                let ex = r.apps.get_mut(&rpid).unwrap().fm.on_extract(&pkt);
+                debug_assert!(!ex.message_complete, "burst fused a last fragment");
+                meter.record(x_end, pkt.payload as u64);
+                ex
+            };
+            r_chrono = tx.arrival;
+            debug_assert_eq!(ex.refill_due.is_some(), will_refill);
+            if let Some((fwr, txr, w_r)) = refill_cand {
+                // The receiver's queue_refill + kick_send_engine, fused:
+                // build the refill, run it through the receiver's send
+                // engine and the network, and put it in flight toward the
+                // sender. Its SendEngineDone is a no-op (receiver-side
+                // entry preconditions) and is elided.
+                let (peer, kr) = ex.refill_due.unwrap();
+                debug_assert_eq!(peer, node);
+                let pkt_r = self.nodes[dst].apps[&rpid].fm.make_refill(peer, kr);
+                debug_assert_eq!(pkt_r.wire_bytes(), HEADER_BYTES);
+                let r = &mut self.nodes[dst];
+                let fwr_real = r.nic.reserve_engine(x_end, send_pp);
+                debug_assert_eq!(fwr_real, fwr);
+                let txr_real = self.net.transmit(fwr, dst, node, HEADER_BYTES);
+                debug_assert_eq!(txr_real, txr);
+                let r = &mut self.nodes[dst];
+                r.nic.engine_extend_to(txr.injection_done);
+                r.nic.stats.data_sent += 1;
+                r.nic
+                    .context_mut(rctx_id)
+                    .unwrap()
+                    .send_q
+                    .account_passthrough(1);
+                r_chrono = x_end;
+                refill_claim = x_end;
+                pending_refill = Some((txr.arrival, w_r, pkt_r));
+                refill_elided += 1; // the receiver's SendEngineDone
+            }
+            prev_x_start = x_start;
+            prev_x_end = x_end;
+            h_claim = h;
+
+            // -- Advance the host injection for fragment f_idx + 1 --
+            // This is `advance_send` for the next fragment: consume its
+            // credit and charge the host CPU. If the loop ends here, that
+            // fragment becomes the burst boundary and its HostOpDone is
+            // emitted for real below.
+            {
+                let s = &mut self.nodes[node];
+                let sproc = s.apps.get_mut(&pid).unwrap();
+                let ok = sproc.fm.flow.consume(dst);
+                debug_assert!(ok, "burst: credits_avail tracked above");
+                credits_avail -= 1;
+                // f_idx + 1 >= 1: never the first fragment, no send_call.
+                let cost = self
+                    .cfg
+                    .fm_costs
+                    .inject_cycles(HEADER_BYTES + fragment_payload(bytes, f_idx + 1));
+                h = s.cpu.reserve(h, cost).end;
+            }
+            fused += 1;
+        }
+
+        if fused > 0 || had_meter {
+            self.stats.job_bw.insert(job_id, meter);
+        }
+        if fused == 0 {
+            return false;
+        }
+
+        // -- Burst boundary: re-materialize the surviving events --
+        {
+            let s = &mut self.nodes[node];
+            s.send_engine_busy = true;
+            s.nic
+                .context_mut(ctx_id)
+                .unwrap()
+                .send_q
+                .account_passthrough(fused as u64 - 1);
+            let sproc = s.apps.get_mut(&pid).unwrap();
+            sproc.busy = true;
+            // The generic path will materialize the boundary fragment
+            // (index first_idx + fused) when its HostOpDone fires.
+            sproc.sending.as_mut().unwrap().next_frag += fused as u64 - 1;
+        }
+        self.nodes[dst]
+            .nic
+            .context_mut(rctx_id)
+            .unwrap()
+            .recv_q
+            .account_passthrough(fused as u64);
+
+        // Claim order matches the unbatched handlers: a refill FrameArrive
+        // still in flight was claimed by the crossing fragment's extract
+        // (at `refill_claim`), the boundary pair by the last fused
+        // HostOpDone (at `h_claim`, kick_send_engine's SendEngineDone
+        // before advance_send's HostOpDone) — so same-instant ties resolve
+        // identically.
+        let survivor = pending_refill.map(|(arr_r, _, pkt_r)| {
+            (
+                arr_r,
+                NicEvent::FrameArrive {
+                    node,
+                    frame: Frame::Data(pkt_r),
+                },
+            )
+        });
+        if let Some((arr_r, ev)) = survivor.clone().filter(|_| refill_claim <= h_claim) {
+            bus.emit(arr_r, ev);
+        }
+        bus.emit(last_inj, NicEvent::SendEngineDone { node });
+        bus.emit(
+            h,
+            AppEvent::HostOpDone {
+                node,
+                pid,
+                op: HostOp::SendFragment,
+            },
+        );
+        if let Some((arr_r, ev)) = survivor.filter(|_| refill_claim > h_claim) {
+            bus.emit(arr_r, ev);
+        }
+        // Per fused fragment the unbatched engine dispatches its
+        // HostOpDone (all but the first), SendEngineDone (all but the
+        // last, which stays real), FrameArrive, RecvEngineDone and the
+        // extract HostOpDone, plus the counted receiver kicks and the
+        // events of any fused refill.
+        bus.note_elided(5 * fused as u64 - 2 + p_kicks + refill_elided);
+        true
+    }
+}

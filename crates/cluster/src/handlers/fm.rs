@@ -14,7 +14,6 @@
 //! while their endpoint faults in (the VN paper's return-to-sender is
 //! modeled as a drop-notify once parking overflows).
 
-use gang_comm::state::SavedCommState;
 use gang_comm::switcher;
 use myrinet::broadcast::CONTROL_PACKET_BYTES;
 use sim_core::time::{Cycles, SimTime};
@@ -174,7 +173,9 @@ impl World {
             let n = &mut self.nodes[node];
             let mut ctx = n.nic.free_context(victim).unwrap();
             let vjob = ctx.job;
-            let saved = SavedCommState::new(vjob, ctx.send_q.drain_all(), ctx.recv_q.drain_all());
+            let mut saved = n.take_shell(vjob);
+            ctx.send_q.drain_into(&mut saved.send_q);
+            ctx.recv_q.drain_into(&mut saved.recv_q);
             let bytes = saved.stored_bytes();
             let vpid = self
                 .find_proc_by_job(node, vjob)
@@ -197,11 +198,12 @@ impl World {
                 .alloc_context(job, proc_rank, geo.send_slots, geo.recv_slots)
                 .expect("room was just made");
             if let Some(pid) = pid {
-                if let Some(saved) = n.backing.restore(pid) {
+                if let Some(mut saved) = n.backing.restore(pid) {
                     assert_eq!(saved.job, job, "backing store mix-up at fault");
                     let ctx = n.nic.context_mut(ctx_id).unwrap();
-                    ctx.send_q.load(saved.send_q);
-                    ctx.recv_q.load(saved.recv_q);
+                    ctx.send_q.load_from(&mut saved.send_q);
+                    ctx.recv_q.load_from(&mut saved.recv_q);
+                    n.recycle_shell(saved);
                 }
             }
         }

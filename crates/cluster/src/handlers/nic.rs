@@ -238,15 +238,23 @@ impl World {
     fn on_send_engine_done(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
         self.nodes[node].send_engine_busy = false;
         // Queue space freed: unblock senders, flush deferred refills, and
-        // complete any deferred job teardown.
-        let pids: Vec<Pid> = self.nodes[node].apps.keys().copied().collect();
-        for pid in pids {
-            let proc = &self.nodes[node].apps[&pid];
-            if proc.blocked == Some(BlockReason::SendSpace) {
-                bus.emit_now(AppEvent::ProcKick { node, pid });
-            }
-            if proc.phase == ProcPhase::Finished {
-                self.try_end_job(now, node, pid, bus);
+        // complete any deferred job teardown. The collect is gated behind a
+        // cheap scan — on the streaming fast path nothing here applies and
+        // this handler must stay allocation-free.
+        let any_waiting = self.nodes[node]
+            .apps
+            .values()
+            .any(|p| p.blocked == Some(BlockReason::SendSpace) || p.phase == ProcPhase::Finished);
+        if any_waiting {
+            let pids: Vec<Pid> = self.nodes[node].apps.keys().copied().collect();
+            for pid in pids {
+                let proc = &self.nodes[node].apps[&pid];
+                if proc.blocked == Some(BlockReason::SendSpace) {
+                    bus.emit_now(AppEvent::ProcKick { node, pid });
+                }
+                if proc.phase == ProcPhase::Finished {
+                    self.try_end_job(now, node, pid, bus);
+                }
             }
         }
         self.drain_pending_refills(now, node, bus);

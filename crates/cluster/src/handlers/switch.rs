@@ -2,7 +2,6 @@
 //! the §5 baseline strategies, each packaged as a [`SwitchProtocol`].
 
 use fastmsg::division::BufferPolicy;
-use gang_comm::state::SavedCommState;
 use gang_comm::strategy::SwitchStrategy;
 use gang_comm::switcher;
 use hostsim::process::Signal;
@@ -315,8 +314,9 @@ impl World {
             let job = n.apps[&pid_out].fm.job;
             if let Some(ctx_id) = n.nic.find_context(job) {
                 let mut ctx = n.nic.free_context(ctx_id).unwrap();
-                let saved =
-                    SavedCommState::new(job, ctx.send_q.drain_all(), ctx.recv_q.drain_all());
+                let mut saved = n.take_shell(job);
+                ctx.send_q.drain_into(&mut saved.send_q);
+                ctx.recv_q.drain_into(&mut saved.recv_q);
                 let bytes = saved.stored_bytes();
                 n.backing.save(pid_out, saved, bytes);
             }
@@ -324,7 +324,7 @@ impl World {
         // Restore the incoming context.
         if let Some(pid_in) = self.nodes[node].app_in_slot(to) {
             let n = &mut self.nodes[node];
-            if let Some(saved) = n.backing.restore(pid_in) {
+            if let Some(mut saved) = n.backing.restore(pid_in) {
                 let geo = self.cfg.fm.geometry();
                 let proc = &n.apps[&pid_in];
                 assert_eq!(saved.job, proc.fm.job, "backing store mix-up");
@@ -333,8 +333,9 @@ impl World {
                     .alloc_context(saved.job, proc.rank, geo.send_slots, geo.recv_slots)
                     .expect("NIC context slot must be free after eviction");
                 let ctx = n.nic.context_mut(ctx_id).unwrap();
-                ctx.send_q.load(saved.send_q);
-                ctx.recv_q.load(saved.recv_q);
+                ctx.send_q.load_from(&mut saved.send_q);
+                ctx.recv_q.load_from(&mut saved.recv_q);
+                n.recycle_shell(saved);
             }
         }
         self.trace.emit(now, Category::Switch, Some(node), || {

@@ -99,10 +99,24 @@ pub fn fig5_cell_scaled(
 /// The benchmark runs as the only job (no context switches occur), exactly
 /// as in the paper.
 pub fn fig5_cell(contexts: usize, msg_bytes: u64, count: u64, seed: u64) -> BandwidthCell {
+    fig5_cell_batch(contexts, msg_bytes, count, seed, 0)
+}
+
+/// [`fig5_cell`] with the burst fast path enabled (`batch` fragments per
+/// fused packet train; 0 disables). The result is byte-identical to the
+/// unbatched run — `tests/determinism.rs` asserts it.
+pub fn fig5_cell_batch(
+    contexts: usize,
+    msg_bytes: u64,
+    count: u64,
+    seed: u64,
+    batch: usize,
+) -> BandwidthCell {
     let mut cfg = ClusterConfig::parpar(16, contexts.max(2), BufferPolicy::StaticDivision);
     cfg.fm.max_contexts = contexts;
     cfg.auto_rotate = false;
     cfg.seed = seed;
+    cfg.batch = batch;
     run_p2p_cell(cfg, msg_bytes, count)
 }
 
@@ -133,10 +147,24 @@ pub fn fig6_cell(
     duration: Cycles,
     seed: u64,
 ) -> MultiJobCell {
+    fig6_cell_batch(jobs, msg_bytes, quantum, duration, seed, 0)
+}
+
+/// [`fig6_cell`] with the burst fast path enabled (`batch` fragments per
+/// fused packet train; 0 disables).
+pub fn fig6_cell_batch(
+    jobs: usize,
+    msg_bytes: u64,
+    quantum: Cycles,
+    duration: Cycles,
+    seed: u64,
+    batch: usize,
+) -> MultiJobCell {
     assert!(jobs >= 1);
     let mut cfg = ClusterConfig::parpar(16, jobs.max(1), BufferPolicy::FullBuffer);
     cfg.quantum = quantum;
     cfg.seed = seed;
+    cfg.batch = batch;
     cfg.copy = CopyStrategy::ValidOnly;
     let credits = cfg.fm.geometry().credits;
     let mut sim = Sim::new(cfg);
@@ -213,11 +241,25 @@ pub fn switch_overhead_run(
     switches: u64,
     seed: u64,
 ) -> SwitchOverheadRun {
+    switch_overhead_run_batch(nodes, copy, strategy, switches, seed, 0)
+}
+
+/// [`switch_overhead_run`] with the burst fast path enabled (`batch`
+/// fragments per fused packet train; 0 disables).
+pub fn switch_overhead_run_batch(
+    nodes: usize,
+    copy: CopyStrategy,
+    strategy: SwitchStrategy,
+    switches: u64,
+    seed: u64,
+    batch: usize,
+) -> SwitchOverheadRun {
     assert!(nodes >= 2);
     let mut cfg = ClusterConfig::parpar(nodes, 2, BufferPolicy::FullBuffer);
     cfg.copy = copy;
     cfg.strategy = strategy;
     cfg.seed = seed;
+    cfg.batch = batch;
     // A short quantum packs many switches into little simulated time; the
     // stage costs are quantum-independent (verified in tests/).
     cfg.quantum = Cycles::from_ms(50);

@@ -58,6 +58,10 @@ pub struct NodeSim {
     pub faults: u64,
     /// State of a non-flush switch in progress (ShareDiscard / AckDrain).
     pub alt_switch: Option<AltSwitch>,
+    /// Recycled [`SavedCommState`] shells. Buffer switches happen every
+    /// quantum; draining into a pooled shell and loading back out of it
+    /// keeps the switch path allocation-free at steady state.
+    state_pool: Vec<SavedCommState<Packet>>,
 }
 
 /// Progress of a ShareDiscard or AckDrain switch on one node.
@@ -101,7 +105,26 @@ impl NodeSim {
             lru: BTreeMap::new(),
             faults: 0,
             alt_switch: None,
+            state_pool: Vec::new(),
         }
+    }
+
+    /// A `SavedCommState` shell for `job` with empty queues, reusing a
+    /// pooled allocation when one is available.
+    pub fn take_shell(&mut self, job: u32) -> SavedCommState<Packet> {
+        match self.state_pool.pop() {
+            Some(mut s) => {
+                s.job = job;
+                s
+            }
+            None => SavedCommState::empty(job),
+        }
+    }
+
+    /// Return an emptied shell's allocations to the pool.
+    pub fn recycle_shell(&mut self, s: SavedCommState<Packet>) {
+        debug_assert!(s.send_q.is_empty() && s.recv_q.is_empty());
+        self.state_pool.push(s);
     }
 
     /// The app process (if any) occupying `slot` on this node.

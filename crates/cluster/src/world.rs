@@ -17,7 +17,7 @@ use sim_core::time::{Cycles, SimTime};
 use sim_core::trace::Trace;
 use workloads::program::{Program, Workload};
 
-use crate::bus::Bus;
+use crate::bus::{Bus, Pending};
 use crate::config::ClusterConfig;
 use crate::event::{DaemonEvent, Event};
 use crate::handlers::{
@@ -51,6 +51,10 @@ pub struct World {
     /// Programs of queued (not yet admitted) submissions, FIFO-aligned
     /// with the jobrep queue.
     pub(crate) queued_programs: VecDeque<Vec<Box<dyn Program>>>,
+    /// Pooled agenda buffer for the packet-train trampoline (`cfg.batch`).
+    /// Taken out of the world for the duration of a dispatch, always empty
+    /// between dispatches.
+    agenda_buf: Vec<Pending>,
 }
 
 impl World {
@@ -89,6 +93,7 @@ impl World {
             jobrep: JobRep::new(),
             pending_programs: BTreeMap::new(),
             queued_programs: VecDeque::new(),
+            agenda_buf: Vec::with_capacity(16),
             cfg,
         };
         // COMM_init_node on every noded startup (paper §3.2: "called when
@@ -144,18 +149,76 @@ impl WorldState for World {
     }
 }
 
+impl World {
+    /// Route one event to its subsystem handler.
+    #[inline]
+    fn dispatch(&mut self, now: SimTime, event: Event, bus: &mut Bus) {
+        match event {
+            Event::Daemon(e) => self.on_daemon(now, e, bus),
+            Event::Nic(e) => self.on_nic(now, e, bus),
+            Event::App(e) => self.on_app(now, e, bus),
+            Event::Switch(e) => self.on_switch(now, e, bus),
+            Event::Fm(e) => self.on_fm(now, e, bus),
+        }
+    }
+}
+
 impl Model for World {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
-        let mut bus = Bus::new(sched);
-        match event {
-            Event::Daemon(e) => self.on_daemon(now, e, &mut bus),
-            Event::Nic(e) => self.on_nic(now, e, &mut bus),
-            Event::App(e) => self.on_app(now, e, &mut bus),
-            Event::Switch(e) => self.on_switch(now, e, &mut bus),
-            Event::Fm(e) => self.on_fm(now, e, &mut bus),
+        let batch = self.cfg.batch;
+        if batch < 2 {
+            let mut bus = Bus::new(sched);
+            self.dispatch(now, event, &mut bus);
+            return;
         }
+
+        // Packet-train fast path. The engine handed us one event; handle
+        // it with deferred emissions, then run ahead through our own
+        // emissions (the agenda) as long as each is provably the globally
+        // next event — its `(time, seq)` key precedes the queue head's and
+        // its time is inside the driver's fence. Seqs were claimed at the
+        // emission points, so both the inline dispatch order and the seqs
+        // of events that do reach the heap are identical to what unbatched
+        // mode produces: observable behavior is bit-for-bit the same.
+        let mut agenda = std::mem::take(&mut self.agenda_buf);
+        debug_assert!(agenda.is_empty());
+        let mut bus = Bus::deferred(sched, now, &mut agenda);
+        self.dispatch(now, event, &mut bus);
+
+        let fence = sched.fence();
+        let mut budget = batch - 1;
+        while budget > 0 && !agenda.is_empty() {
+            let mut min = 0;
+            let mut min_key = (agenda[0].0, agenda[0].1);
+            for (i, &(t, s, _)) in agenda.iter().enumerate().skip(1) {
+                if (t, s) < min_key {
+                    min = i;
+                    min_key = (t, s);
+                }
+            }
+            // The driver dispatches events at the fence instant itself,
+            // so run-ahead may too.
+            if min_key.0 > fence {
+                break;
+            }
+            if let Some(head) = sched.peek_key() {
+                if head < min_key {
+                    break;
+                }
+            }
+            let (t, _seq, ev) = agenda.swap_remove(min);
+            sched.note_inline_dispatch();
+            budget -= 1;
+            let mut bus = Bus::deferred(sched, t, &mut agenda);
+            self.dispatch(t, ev, &mut bus);
+        }
+
+        for (t, seq, ev) in agenda.drain(..) {
+            sched.push_claimed(t, seq, ev);
+        }
+        self.agenda_buf = agenda;
     }
 }
 

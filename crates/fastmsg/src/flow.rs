@@ -138,6 +138,16 @@ impl FlowControl {
         }
     }
 
+    /// How many more packets from `peer` can be consumed before
+    /// [`FlowControl::on_packet_consumed`] next returns a dedicated refill
+    /// (i.e. consecutive calls still returning `None`).
+    ///
+    /// The burst fast path uses this to bound a fused packet train so that
+    /// no fused extract crosses the low-water mark.
+    pub fn packets_until_refill(&self, peer: usize) -> usize {
+        (self.c0 - self.low_water).saturating_sub(self.consumed[peer] + 1)
+    }
+
     /// Take the consumed count for `peer` to piggyback on a data packet
     /// headed there (resets the counter; returns 0 if nothing to return).
     pub fn take_piggyback(&mut self, peer: usize) -> usize {
@@ -209,6 +219,29 @@ mod tests {
         let mut f = FlowControl::new(1, 2, 1);
         assert_eq!(f.on_packet_consumed(0), Some(1));
         assert_eq!(f.on_packet_consumed(0), Some(1));
+    }
+
+    #[test]
+    fn packets_until_refill_counts_safe_consumes() {
+        // C0 = 4, low_water = 2: refill is due on the 2nd consumed packet,
+        // so exactly 1 consume is safe from a reset counter.
+        let mut f = FlowControl::new(1, 2, 4);
+        assert_eq!(f.packets_until_refill(0), 1);
+        assert_eq!(f.on_packet_consumed(0), None);
+        assert_eq!(f.packets_until_refill(0), 0);
+        assert!(f.on_packet_consumed(0).is_some());
+        // Counter reset by the refill: the cycle repeats.
+        assert_eq!(f.packets_until_refill(0), 1);
+
+        // Exhaustive cross-check against the real consume path.
+        for c0 in 1..=16 {
+            let mut f = FlowControl::new(1, 2, c0);
+            let safe = f.packets_until_refill(0);
+            for i in 0..=safe {
+                let due = f.on_packet_consumed(0).is_some();
+                assert_eq!(due, i == safe, "c0={c0} i={i} safe={safe}");
+            }
+        }
     }
 
     #[test]

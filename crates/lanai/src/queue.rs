@@ -12,6 +12,14 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingFull;
 
+/// Upper bound on the slots eagerly allocated by [`PacketRing::new`].
+///
+/// Logical capacity may be far larger (a ring sized for a whole job's
+/// receive window); physical memory grows on demand past this point. The
+/// bound exists so constructing many huge-capacity rings (one per context
+/// per node) stays cheap.
+pub const PREALLOC_SLOTS: usize = 1024;
+
 /// A bounded FIFO ring of packet descriptors.
 ///
 /// ```
@@ -40,7 +48,7 @@ impl<P> PacketRing<P> {
     /// A ring with `capacity` packet slots.
     pub fn new(capacity: usize) -> Self {
         PacketRing {
-            slots: VecDeque::with_capacity(capacity.min(1024)),
+            slots: VecDeque::with_capacity(capacity.min(PREALLOC_SLOTS)),
             capacity,
             high_water: 0,
             total_pushed: 0,
@@ -131,6 +139,52 @@ impl<P> PacketRing<P> {
         }
     }
 
+    /// Remove all packets into `buf` in FIFO order, reusing its allocation.
+    /// Allocation-free analogue of [`drain_all`](Self::drain_all) for the
+    /// buffer-switch hot path; `buf` is cleared first.
+    pub fn drain_into(&mut self, buf: &mut Vec<P>) {
+        buf.clear();
+        self.total_popped += self.slots.len() as u64;
+        buf.extend(self.slots.drain(..));
+    }
+
+    /// Refill from `buf`, draining it in place (restore side of the buffer
+    /// switch, without giving up `buf`'s allocation). Same invariants as
+    /// [`load`](Self::load): the ring must be empty and the contents must
+    /// fit in `capacity`.
+    pub fn load_from(&mut self, buf: &mut Vec<P>) {
+        assert!(
+            self.slots.is_empty(),
+            "loading into a non-empty ring would interleave jobs' packets"
+        );
+        assert!(
+            buf.len() <= self.capacity,
+            "saved contents exceed ring capacity"
+        );
+        self.total_pushed += buf.len() as u64;
+        self.slots.extend(buf.drain(..));
+        if self.slots.len() > self.high_water {
+            self.high_water = self.slots.len();
+        }
+    }
+
+    /// Account for `n` packets that logically passed through this ring
+    /// without ever being materialized in it (the burst fast path hands a
+    /// fragment straight to its consumer). Counter-equivalent to `n`
+    /// push/pop pairs on an empty ring: totals advance by `n` each and the
+    /// high-water mark reflects the momentary occupancy of 1.
+    pub fn account_passthrough(&mut self, n: u64) {
+        debug_assert!(
+            self.slots.is_empty(),
+            "passthrough accounting on a non-empty ring is not pop-order-equivalent"
+        );
+        self.total_pushed += n;
+        self.total_popped += n;
+        if n > 0 && self.high_water == 0 {
+            self.high_water = 1;
+        }
+    }
+
     /// Largest occupancy ever observed.
     pub fn high_water(&self) -> usize {
         self.high_water
@@ -197,10 +251,93 @@ mod tests {
     }
 
     #[test]
+    fn drain_into_and_load_from_reuse_buffer() {
+        let mut r = PacketRing::new(5);
+        let mut buf = vec![42]; // stale contents must be cleared
+        for i in 0..4 {
+            r.push(i).unwrap();
+        }
+        r.drain_into(&mut buf);
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert!(r.is_empty());
+        let cap_before = buf.capacity();
+        r.load_from(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(
+            buf.capacity(),
+            cap_before,
+            "load_from must keep the allocation"
+        );
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.pop(), Some(0));
+        assert_eq!(r.totals(), (8, 5));
+        assert_eq!(r.high_water(), 4);
+    }
+
+    #[test]
+    fn passthrough_matches_push_pop_counters() {
+        let mut real = PacketRing::new(4);
+        let mut fast = PacketRing::new(4);
+        for i in 0..3 {
+            real.push(i).unwrap();
+            real.pop();
+        }
+        fast.account_passthrough(3);
+        assert_eq!(real.totals(), fast.totals());
+        assert_eq!(real.high_water(), fast.high_water());
+        // An already-seen higher mark is preserved.
+        real.push(7).unwrap();
+        real.push(8).unwrap();
+        real.pop();
+        real.pop();
+        fast.push(7).unwrap();
+        fast.push(8).unwrap();
+        fast.pop();
+        fast.pop();
+        real.push(9).unwrap();
+        real.pop();
+        fast.account_passthrough(1);
+        assert_eq!(real.totals(), fast.totals());
+        assert_eq!(real.high_water(), 2);
+        assert_eq!(fast.high_water(), 2);
+    }
+
+    #[test]
+    fn prealloc_is_capped_but_capacity_is_logical() {
+        let r: PacketRing<u64> = PacketRing::new(PREALLOC_SLOTS * 4);
+        assert_eq!(r.capacity(), PREALLOC_SLOTS * 4);
+        // Eager allocation stops at the documented cap; the ring still
+        // accepts its full logical capacity.
+        let mut r: PacketRing<u8> = PacketRing::new(PREALLOC_SLOTS + 8);
+        for _ in 0..PREALLOC_SLOTS + 8 {
+            r.push(0).unwrap();
+        }
+        assert!(r.is_full());
+        assert_eq!(r.push(0), Err(RingFull));
+    }
+
+    #[test]
     #[should_panic(expected = "exceed ring capacity")]
     fn load_over_capacity_panics() {
         let mut r = PacketRing::new(1);
         r.load(vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed ring capacity")]
+    fn load_from_over_capacity_panics() {
+        let mut r = PacketRing::new(1);
+        let mut buf = vec![1, 2];
+        r.load_from(&mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty ring")]
+    fn load_from_into_nonempty_panics() {
+        let mut r = PacketRing::new(3);
+        r.push(1).unwrap();
+        let mut buf = vec![2];
+        r.load_from(&mut buf);
     }
 
     #[test]

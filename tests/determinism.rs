@@ -1,13 +1,17 @@
 //! The simulation is deterministic: identical configuration and seed give
 //! bit-identical runs; the figures are exactly reproducible.
 
-use cluster::measure::{fig5_cell, fig6_cell, switch_overhead_run};
+use cluster::measure::{
+    fig5_cell, fig5_cell_batch, fig6_cell, fig6_cell_batch, switch_overhead_run,
+    switch_overhead_run_batch,
+};
 use cluster::{ClusterConfig, Sim};
 use fastmsg::division::BufferPolicy;
 use gang_comm::strategy::SwitchStrategy;
 use gang_comm::switcher::CopyStrategy;
 use sim_core::time::{Cycles, SimTime};
 use workloads::p2p::P2pBandwidth;
+use workloads::ring::Ring;
 
 #[test]
 fn same_seed_same_event_count_and_bandwidth() {
@@ -107,6 +111,100 @@ fn fig_cells_are_reproducible() {
         b.ledger.mean_total().to_bits()
     );
     assert_eq!(a.queue_samples.len(), b.queue_samples.len());
+}
+
+/// The burst fast path (`--batch=16`) is an engine optimisation, not a model
+/// change: every figure cell it produces must be byte-identical to the
+/// packet-at-a-time run, across seeds. `f64::to_bits` comparison leaves no
+/// room for "close enough".
+#[test]
+fn batched_fig_cells_match_unbatched_bit_for_bit() {
+    for seed in [5, 91, 4242] {
+        // Fig. 5 cells: one context (bursts engage) and three contexts
+        // (credit pressure, bursts engage rarely) at a multi-fragment size.
+        for contexts in [1, 3] {
+            let off = fig5_cell(contexts, 65_536, 40, seed);
+            let on = fig5_cell_batch(contexts, 65_536, 40, seed, 16);
+            assert_eq!(off.mbps.to_bits(), on.mbps.to_bits(), "seed {seed}");
+            assert_eq!(off.completed, on.completed, "seed {seed}");
+            assert_eq!(off.credits, on.credits, "seed {seed}");
+        }
+
+        // Fig. 6 cell: time-sliced jobs under buffer switching.
+        let q = Cycles::from_ms(50);
+        let w = Cycles::from_ms(100);
+        let off = fig6_cell(2, 1536, q, w, seed);
+        let on = fig6_cell_batch(2, 1536, q, w, seed, 16);
+        assert_eq!(off.total_mbps.to_bits(), on.total_mbps.to_bits());
+        assert_eq!(off.per_job_mbps.len(), on.per_job_mbps.len());
+        for (a, b) in off.per_job_mbps.iter().zip(&on.per_job_mbps) {
+            assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+        }
+        assert_eq!(off.switches, on.switches, "seed {seed}");
+
+        // Fig. 8 run: all-to-all stress, queue samples at switch time.
+        let off = switch_overhead_run(
+            4,
+            CopyStrategy::ValidOnly,
+            SwitchStrategy::GangFlush,
+            3,
+            seed,
+        );
+        let on = switch_overhead_run_batch(
+            4,
+            CopyStrategy::ValidOnly,
+            SwitchStrategy::GangFlush,
+            3,
+            seed,
+            16,
+        );
+        assert_eq!(
+            off.ledger.mean_total().to_bits(),
+            on.ledger.mean_total().to_bits(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            off.queue_samples.len(),
+            on.queue_samples.len(),
+            "seed {seed}"
+        );
+        for (a, b) in off.queue_samples.iter().zip(&on.queue_samples) {
+            assert_eq!(
+                (a.node, a.epoch, a.send_valid, a.recv_valid),
+                (b.node, b.epoch, b.send_valid, b.recv_valid),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+/// On the burst-friendly ring workload the fast path elides most heap
+/// events, but the *logical* event stream — heap pops plus inline
+/// dispatches — is identical, as are all end-of-run observables.
+#[test]
+fn burst_fast_path_preserves_logical_event_stream() {
+    let run = |batch: usize| {
+        let mut cfg = ClusterConfig::parpar(4, 1, BufferPolicy::StaticDivision);
+        cfg.auto_rotate = false;
+        cfg.seed = 42;
+        cfg.batch = batch;
+        let mut sim = Sim::new(cfg);
+        let w = Ring {
+            nprocs: 4,
+            msg_bytes: 1 << 20,
+            laps: 2,
+        };
+        let j = sim.submit(&w, Some(vec![0, 1, 2, 3])).unwrap();
+        assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(600)));
+        (
+            sim.engine.logical_events(),
+            sim.world().stats.job_finished[&j],
+            sim.world().stats.switches,
+        )
+    };
+    let off = run(0);
+    let on = run(16);
+    assert_eq!(off, on);
 }
 
 #[test]
