@@ -2,7 +2,7 @@
 //! the simulator reproduces a Fig. 5 / Fig. 6 cell. These guard against
 //! performance regressions in the event loop and protocol hot paths.
 
-use cluster::measure::{fig5_cell, fig6_cell};
+use cluster::measure::Measurement;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_core::time::Cycles;
 use std::hint::black_box;
@@ -14,7 +14,9 @@ fn bench_fig5_cells(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_{sz}B")),
             &(n, sz, count),
-            |b, &(n, sz, count)| b.iter(|| black_box(fig5_cell(n, sz, count, 1))),
+            |b, &(n, sz, count)| {
+                b.iter(|| black_box(Measurement::fig5(n, sz, count).seed(1).run()))
+            },
         );
     }
     g.finish();
@@ -25,13 +27,11 @@ fn bench_fig6_cell(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("k3_24KB_100ms", |b| {
         b.iter(|| {
-            black_box(fig6_cell(
-                3,
-                24576,
-                Cycles::from_ms(50),
-                Cycles::from_ms(100),
-                1,
-            ))
+            black_box(
+                Measurement::fig6(3, 24576, Cycles::from_ms(50), Cycles::from_ms(100))
+                    .seed(1)
+                    .run(),
+            )
         })
     });
     g.finish();

@@ -7,7 +7,7 @@
 //! ```
 
 use bench_harness::{fig5_count, par_sweep, HarnessOpts, FIG5_SIZES};
-use cluster::measure::fig5_cell_batch;
+use cluster::measure::Measurement;
 use sim_core::report::{Cell, Table};
 
 fn main() {
@@ -23,7 +23,10 @@ fn main() {
     let full = opts.full;
     let batch = opts.batch;
     let results = par_sweep(params.clone(), |&(n, sz)| {
-        fig5_cell_batch(n, sz, fig5_count(sz, full), seed, batch)
+        Measurement::fig5(n, sz, fig5_count(sz, full))
+            .seed(seed)
+            .batch(batch)
+            .run()
     });
 
     let mut headers: Vec<String> = vec!["contexts".into(), "C0".into()];

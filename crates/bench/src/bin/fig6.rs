@@ -10,7 +10,7 @@
 //! ```
 
 use bench_harness::{par_sweep, HarnessOpts, FIG6_SIZES};
-use cluster::measure::fig6_cell_batch;
+use cluster::measure::Measurement;
 use sim_core::report::{Cell, Table};
 use sim_core::time::Cycles;
 
@@ -31,7 +31,10 @@ fn main() {
     let seed = opts.seed;
     let batch = opts.batch;
     let results = par_sweep(params, |&(k, sz)| {
-        fig6_cell_batch(k, sz, quantum, window, seed, batch)
+        Measurement::fig6(k, sz, quantum, window)
+            .seed(seed)
+            .batch(batch)
+            .run()
     });
 
     let mut headers: Vec<String> = vec!["jobs".into(), "C0".into(), "switches".into()];

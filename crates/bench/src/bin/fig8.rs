@@ -7,7 +7,7 @@
 //! ```
 
 use bench_harness::{par_sweep, HarnessOpts, FIG7_NODES};
-use cluster::measure::switch_overhead_run_batch;
+use cluster::measure::Measurement;
 use gang_comm::strategy::SwitchStrategy;
 use gang_comm::switcher::CopyStrategy;
 use sim_core::report::{Cell, Table};
@@ -18,14 +18,15 @@ fn main() {
     let seed = opts.seed;
     let batch = opts.batch;
     let results = par_sweep(FIG7_NODES.to_vec(), |&nodes| {
-        switch_overhead_run_batch(
+        Measurement::switch_overhead(
             nodes,
             CopyStrategy::ValidOnly,
             SwitchStrategy::GangFlush,
             switches,
-            seed,
-            batch,
         )
+        .seed(seed)
+        .batch(batch)
+        .run()
     });
     let mut table = Table::new(
         "Fig. 8 — valid packets in the queues at switch time (all-to-all)",

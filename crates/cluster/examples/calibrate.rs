@@ -9,12 +9,12 @@ fn main() {
         println!("== fig5: MB/s by (contexts, msgsize) ==");
         for n in [1usize, 2, 3, 4, 5, 6, 7, 8] {
             let mut row = format!("n={n} (C0={}):", {
-                let c = fig5_cell(n, 64, 10, 1);
+                let c = Measurement::fig5(n, 64, 10).seed(1).run();
                 c.credits
             });
             for sz in [64u64, 1024, 16384, 65536] {
                 let count = if sz <= 1024 { 2000 } else { 300 };
-                let c = fig5_cell(n, sz, count, 1);
+                let c = Measurement::fig5(n, sz, count).seed(1).run();
                 row += &format!(" {:>7.2}", c.mbps);
             }
             println!("{row}");
@@ -25,7 +25,9 @@ fn main() {
         for k in [1usize, 2, 4, 8] {
             let mut row = format!("k={k}:");
             for sz in [96u64, 1536, 24576, 98304] {
-                let c = fig6_cell(k, sz, Cycles::from_ms(100), Cycles::from_ms(400), 1);
+                let c = Measurement::fig6(k, sz, Cycles::from_ms(100), Cycles::from_ms(400))
+                    .seed(1)
+                    .run();
                 row += &format!(" {:>7.2}", c.total_mbps);
             }
             println!("{row}");

@@ -1,6 +1,6 @@
 //! Whole-cluster simulation configuration.
 
-use fastmsg::config::FmConfig;
+use fastmsg::config::{FmConfig, RelConfig};
 use fastmsg::costs::FmCosts;
 use fastmsg::division::BufferPolicy;
 use fastmsg::init::InitMode;
@@ -73,6 +73,10 @@ pub struct ClusterConfig {
     /// packet loss can mess up the credit counters and the entire flow
     /// control algorithm" — the fault-injection tests demonstrate it.
     pub wire_loss_ppm: u32,
+    /// Opt-in go-back-N reliability & protocol-recovery layer (not part of
+    /// the paper's FM; the counterfactual that survives `wire_loss_ppm`).
+    /// Default-off keeps every golden digest and figure CSV bit-identical.
+    pub reliability: RelConfig,
     /// RNG seed (daemon jitter etc.).
     pub seed: u64,
     /// Trace ring capacity; 0 disables tracing.
@@ -109,6 +113,7 @@ impl ClusterConfig {
             init_mode: InitMode::ParPar,
             copy_jitter_pct: 0.03,
             wire_loss_ppm: 0,
+            reliability: RelConfig::default(),
             seed: 0x9a1b_2c3d,
             trace_capacity: 0,
             batch: 0,
@@ -154,6 +159,7 @@ mod more_tests {
         assert!(c.gang_scheduling);
         assert!(!c.dynamic_coscheduling);
         assert_eq!(c.wire_loss_ppm, 0); // FM's reliable-SAN assumption
+        assert!(!c.reliability.enabled); // ...and no retransmission layer
         assert!(c.copy_jitter_pct > 0.0 && c.copy_jitter_pct < 0.2);
     }
 }

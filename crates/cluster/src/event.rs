@@ -72,6 +72,13 @@ pub enum DaemonEvent {
         /// The node.
         node: usize,
     },
+    /// The masterd's switch-protocol watchdog fired (reliability layer
+    /// only): if the epoch's switch is still in flight, every node is told
+    /// to re-send its protocol messages.
+    SwitchRetryCheck {
+        /// The epoch the watchdog was armed for.
+        epoch: u64,
+    },
     /// A masterd command reached a noded.
     CtrlToNode {
         /// Destination node.
@@ -171,6 +178,14 @@ pub enum FmEvent {
         /// The job whose endpoint was faulted in.
         job: u32,
     },
+    /// A process's go-back-N retransmit timer fired (reliability layer
+    /// only).
+    RetransTimeout {
+        /// The node.
+        node: usize,
+        /// The process whose timer fired.
+        pid: Pid,
+    },
 }
 
 /// The discrete events driving the world: one wrapper variant per
@@ -238,6 +253,8 @@ pub const KIND_NAMES: &[&str] = &[
     "host_op_done",
     "copy_done",
     "fault_done",
+    "retrans_timeout",
+    "switch_retry_check",
 ];
 
 impl Event {
@@ -258,6 +275,8 @@ impl Event {
             Event::App(AppEvent::HostOpDone { .. }) => 11,
             Event::Switch(SwitchEvent::CopyDone { .. }) => 12,
             Event::Fm(FmEvent::FaultDone { .. }) => 13,
+            Event::Fm(FmEvent::RetransTimeout { .. }) => 14,
+            Event::Daemon(DaemonEvent::SwitchRetryCheck { .. }) => 15,
         }
     }
 }

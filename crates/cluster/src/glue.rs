@@ -29,7 +29,7 @@ impl World {
     /// initialize contexts and routing. Called for every node during
     /// construction; calling it again is idempotent.
     pub fn comm_init_node(&mut self, _now: SimTime, node: usize) -> Result<(), CommError> {
-        let n = self.nodes.get_mut(node).ok_or(CommError::UnknownJob)?;
+        let n = self.nodes.get_mut(node).ok_or(CommError::UnknownNode)?;
         n.nic_initialized = true;
         Ok(())
     }
@@ -37,7 +37,7 @@ impl World {
     /// `COMM_add_node` — bring a node (back) into service. Membership
     /// bookkeeping: jobs can only be placed on in-service nodes.
     pub fn comm_add_node(&mut self, _now: SimTime, node: usize) -> Result<(), CommError> {
-        let n = self.nodes.get_mut(node).ok_or(CommError::NoResources)?;
+        let n = self.nodes.get_mut(node).ok_or(CommError::UnknownNode)?;
         if n.in_service {
             return Err(CommError::BadPhase);
         }
@@ -48,7 +48,7 @@ impl World {
     /// `COMM_remove_node` — take a node out of service. Refused while the
     /// node still hosts communication contexts or processes.
     pub fn comm_remove_node(&mut self, _now: SimTime, node: usize) -> Result<(), CommError> {
-        let n = self.nodes.get_mut(node).ok_or(CommError::NoResources)?;
+        let n = self.nodes.get_mut(node).ok_or(CommError::UnknownNode)?;
         if !n.in_service {
             return Err(CommError::BadPhase);
         }
@@ -73,7 +73,7 @@ impl World {
         slot: usize,
     ) -> Result<bool, CommError> {
         let geo = self.cfg.fm.geometry();
-        let n = self.nodes.get_mut(node).ok_or(CommError::UnknownJob)?;
+        let n = self.nodes.get_mut(node).ok_or(CommError::UnknownNode)?;
         assert!(n.nic_initialized, "COMM_init_job before COMM_init_node");
         let resident = match self.cfg.fm.policy {
             BufferPolicy::StaticDivision => true,
@@ -102,7 +102,7 @@ impl World {
         job: u32,
         pid: hostsim::process::Pid,
     ) -> Result<(), CommError> {
-        let n = self.nodes.get_mut(node).ok_or(CommError::UnknownJob)?;
+        let n = self.nodes.get_mut(node).ok_or(CommError::UnknownNode)?;
         if let Some(ctx_id) = n.nic.find_context(job) {
             n.nic.free_context(ctx_id);
             Ok(())
@@ -138,10 +138,18 @@ impl World {
     /// `COMM_context_switch` — "swap buffers": schedule the copy of the
     /// outgoing context's queues to backing store and the incoming
     /// context's back (Fig. 4), with strategy-dependent cost.
+    ///
+    /// `from_job` / `to_job`, when given, name the jobs the caller believes
+    /// occupy the outgoing and incoming slots; a mismatch against the
+    /// noded's slot table is refused with [`CommError::UnknownJob`] before
+    /// any copy is scheduled. `None` skips the check (the internal switch
+    /// sequencer already knows its slots).
     pub fn comm_context_switch(
         &mut self,
         now: SimTime,
         node: usize,
+        from_job: Option<CommJob>,
+        to_job: Option<CommJob>,
         bus: &mut Bus,
     ) -> Result<(), CommError> {
         if self.nodes[node].seq.phase() != SwitchPhase::Copying {
@@ -151,6 +159,14 @@ impl World {
             let s = &self.nodes[node].seq;
             (s.from_slot, s.to_slot)
         };
+        for (claimed, slot) in [(from_job, from), (to_job, to)] {
+            if let Some(job) = claimed {
+                let occupant = self.nodes[node].noded.in_slot(slot).map(|(j, _)| j.0);
+                if occupant != Some(job) {
+                    return Err(CommError::UnknownJob);
+                }
+            }
+        }
         let cost = self.copy_cost_for(node, from, to);
         let r = self.nodes[node].cpu.reserve(now, cost);
         bus.emit(r.end, SwitchEvent::CopyDone { node });
@@ -177,16 +193,24 @@ impl World {
 /// A per-node handle implementing the abstract [`CommManager`] interface
 /// on top of the simulated world — what a different cluster-management
 /// system would program against.
+///
+/// The handle owns one [`Bus`] for its whole lifetime: every Table-1 call
+/// emits follow-up events through the same bus, so a driver holding a
+/// `GlueFm` pays the scheduler-wrapping cost once, not per call.
 pub struct GlueFm<'a> {
     world: &'a mut World,
-    sched: &'a mut Scheduler<Event>,
+    bus: Bus<'a>,
     node: usize,
 }
 
 impl<'a> GlueFm<'a> {
     /// A handle for `node`.
     pub fn new(world: &'a mut World, sched: &'a mut Scheduler<Event>, node: usize) -> Self {
-        GlueFm { world, sched, node }
+        GlueFm {
+            world,
+            bus: Bus::new(sched),
+            node,
+        }
     }
 }
 
@@ -203,13 +227,11 @@ impl CommManager for GlueFm<'_> {
         self.world.comm_remove_node(now, node)
     }
 
-    fn init_job(&mut self, now: SimTime, job: CommJob, rank: usize) -> Result<(), CommError> {
+    fn init_job(&mut self, now: SimTime, job: CommJob, rank: usize) -> Result<bool, CommError> {
         // Through the abstract interface the slot is not known yet; the
         // context is made resident (active-slot semantics).
         let slot = self.world.nodes[self.node].noded.current_slot;
-        self.world
-            .comm_init_job(now, self.node, job, rank, slot)
-            .map(|_| ())
+        self.world.comm_init_job(now, self.node, job, rank, slot)
     }
 
     fn end_job(&mut self, now: SimTime, job: CommJob) -> Result<(), CommError> {
@@ -221,22 +243,21 @@ impl CommManager for GlueFm<'_> {
     }
 
     fn halt_network(&mut self, now: SimTime) -> Result<(), CommError> {
-        self.world
-            .comm_halt_network(now, self.node, &mut Bus::new(self.sched))
+        self.world.comm_halt_network(now, self.node, &mut self.bus)
     }
 
     fn context_switch(
         &mut self,
         now: SimTime,
-        _from: Option<CommJob>,
-        _to: Option<CommJob>,
+        from: Option<CommJob>,
+        to: Option<CommJob>,
     ) -> Result<(), CommError> {
         self.world
-            .comm_context_switch(now, self.node, &mut Bus::new(self.sched))
+            .comm_context_switch(now, self.node, from, to, &mut self.bus)
     }
 
     fn release_network(&mut self, now: SimTime) -> Result<(), CommError> {
         self.world
-            .comm_release_network(now, self.node, &mut Bus::new(self.sched))
+            .comm_release_network(now, self.node, &mut self.bus)
     }
 }

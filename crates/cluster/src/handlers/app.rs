@@ -50,6 +50,12 @@ impl AppHandler for World {
         if proc.phase != ProcPhase::Finished || proc.finished_at.is_none() {
             return;
         }
+        if self.cfg.reliability.enabled && proc.fm.rel_unacked() > 0 {
+            // Peers have not acked everything we sent: a teardown now could
+            // orphan a lost packet forever. A later ack (Refill arrival) or
+            // the retransmit timer retries this.
+            return;
+        }
         let job = proc.job;
         if let Some(ctx_id) = n.nic.find_context(job.0) {
             if !n.nic.context(ctx_id).unwrap().send_q.is_empty() {
@@ -76,17 +82,20 @@ impl AppHandler for World {
     fn drain_pending_refills(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
         // Hot-path gate: deferred refills are rare (send queue was full at
         // refill time); skip the allocation below when there are none.
-        if !self.nodes[node]
-            .apps
-            .values()
-            .any(|p| !p.pending_refills.is_empty() && p.phase != ProcPhase::Finished)
-        {
+        // Under the reliability layer finished processes still owe final
+        // acks, so their deferred refills drain too.
+        let keep_finished = self.cfg.reliability.enabled;
+        if !self.nodes[node].apps.values().any(|p| {
+            !p.pending_refills.is_empty() && (keep_finished || p.phase != ProcPhase::Finished)
+        }) {
             return;
         }
         let pids: Vec<Pid> = self.nodes[node]
             .apps
             .iter()
-            .filter(|(_, p)| !p.pending_refills.is_empty() && p.phase != ProcPhase::Finished)
+            .filter(|(_, p)| {
+                !p.pending_refills.is_empty() && (keep_finished || p.phase != ProcPhase::Finished)
+            })
             .map(|(pid, _)| *pid)
             .collect();
         for pid in pids {
@@ -297,9 +306,15 @@ impl World {
                 self.trace.emit(now, Category::Fm, Some(node), || {
                     format!("{pid} FM_initialize complete")
                 });
-                // If this job's slot is not the active one, the process
-                // waits stopped until the gang rotation reaches it.
-                if slot != self.nodes[node].noded.current_slot {
+                // If this job's slot is not the active one — or a buffer
+                // switch into it is still mid-flight, so the context has
+                // not been copied back yet — the process waits stopped
+                // until the rotation completes and resume_incoming wakes
+                // it. (VN caching is exempt: a missing endpoint there is
+                // served by a context fault, not a switch.)
+                let n = &self.nodes[node];
+                let resident = n.nic.find_context(n.apps[&pid].fm.job).is_some();
+                if slot != n.noded.current_slot || (!resident && !self.vn_active()) {
                     self.nodes[node].procs.signal(pid, Signal::Stop);
                     return Step::Park;
                 }
@@ -332,7 +347,11 @@ impl World {
             // have been evicted: fault it back in.
             assert!(
                 self.vn_active(),
-                "running process lost its context outside VN caching"
+                "running process lost its context outside VN caching \
+                 (node {node} pid {pid:?} job {job} slot {} current_slot {} phase {:?})",
+                self.nodes[node].apps[&pid].slot,
+                self.nodes[node].noded.current_slot,
+                self.nodes[node].seq.phase(),
             );
             let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
             proc.blocked = Some(BlockReason::ContextFault);
@@ -455,6 +474,9 @@ impl World {
             .push(pkt)
             .expect("send queue overflowed despite the space check");
         self.vn_touch(now, node, job);
+        if self.cfg.reliability.enabled {
+            self.arm_retrans_timer(now, node, pid, bus);
+        }
         // Packet-train fast path: fuse the uncontended tail of this message
         // into a burst. On success it has already accounted for the engine
         // kick and the process step; on failure nothing changed.
@@ -474,18 +496,23 @@ impl World {
         bus: &mut Bus,
     ) {
         let payload = pkt.payload as u64;
-        let (job, refill_due) = {
+        let (job, refill_due, delivered) = {
             let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
             let res = proc.fm.on_extract(&pkt);
             // A blocked state may now be resolvable; proc_kick below
             // re-evaluates it.
-            (proc.job, res.refill_due)
+            (proc.job, res.refill_due, res.delivered)
         };
-        self.stats
-            .job_bw
-            .entry(job)
-            .or_default()
-            .record(now, payload);
+        // Discarded packets (reliability layer: a gap or duplicate) don't
+        // count toward the paper's goodput; `delivered` is always true with
+        // the layer off.
+        if delivered {
+            self.stats
+                .job_bw
+                .entry(job)
+                .or_default()
+                .record(now, payload);
+        }
         if let Some((peer, k)) = refill_due {
             self.queue_refill(now, node, pid, peer, k, bus);
         }
@@ -526,7 +553,28 @@ impl World {
             let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
             proc.phase = ProcPhase::Finished;
             proc.finished_at = Some(now);
-            proc.pending_refills.clear();
+            if !self.cfg.reliability.enabled {
+                proc.pending_refills.clear();
+            }
+        }
+        if self.cfg.reliability.enabled {
+            // Flush a final ack-bearing refill to every peer host: a peer
+            // whose last refill toward us was lost would otherwise keep
+            // retransmitting into a context about to be torn down, and our
+            // own teardown waits on acks a peer may only send in response.
+            let peers: Vec<usize> = {
+                let proc = &self.nodes[node].apps[&pid];
+                let me = proc.fm.host_of(proc.rank);
+                (0..proc.fm.nprocs())
+                    .map(|r| proc.fm.host_of(r))
+                    .filter(|&h| h != me)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .into_iter()
+                    .collect()
+            };
+            for peer in peers {
+                self.queue_refill(now, node, pid, peer, 0, bus);
+            }
         }
         self.trace
             .emit(now, Category::App, Some(node), || format!("{pid} done"));

@@ -72,6 +72,7 @@ impl World {
         // Configurations with per-packet side effects the fused loop does
         // not model take the generic path.
         if self.cfg.wire_loss_ppm > 0
+            || self.cfg.reliability.enabled
             || self.cfg.strategy.uses_acks()
             || (self.cfg.dynamic_coscheduling && !self.cfg.gang_scheduling)
             || self.vn_active()

@@ -10,7 +10,7 @@ use sim_core::trace::Category;
 
 use crate::bus::Bus;
 use crate::event::{AppEvent, DaemonEvent};
-use crate::handlers::{DaemonHandler, SlotView, SwitchHandler};
+use crate::handlers::{DaemonHandler, NicHandler, SlotView, SwitchHandler};
 use crate::procsim::{ProcPhase, ProcSim};
 use crate::world::World;
 
@@ -22,6 +22,7 @@ impl DaemonHandler for World {
             DaemonEvent::CtrlToNode { node, cmd } => self.on_ctrl_to_node(now, node, cmd, bus),
             DaemonEvent::CtrlToMaster { msg } => self.on_ctrl_to_master(now, msg, bus),
             DaemonEvent::NodedAct { node, cmd } => self.on_noded_act(now, node, cmd, bus),
+            DaemonEvent::SwitchRetryCheck { epoch } => self.on_switch_retry_check(now, epoch, bus),
         }
     }
 
@@ -70,10 +71,46 @@ impl World {
                     },
                 );
             }
+            // Reliability: arm the switch watchdog. A lost halt/ready frame
+            // would otherwise deadlock the whole cluster in mid-switch.
+            if self.cfg.reliability.enabled {
+                bus.emit(
+                    now + self.cfg.reliability.switch_retry,
+                    DaemonEvent::SwitchRetryCheck { epoch: order.epoch },
+                );
+            }
         }
         if self.cfg.auto_rotate {
             bus.emit(now + self.cfg.quantum, DaemonEvent::QuantumExpired);
         }
+    }
+
+    /// The masterd's switch watchdog fired: if the epoch is still in
+    /// flight, suspect a lost protocol frame and tell every node to re-send
+    /// whatever it already emitted (each message is idempotent at every
+    /// receiver), then re-arm.
+    fn on_switch_retry_check(&mut self, now: SimTime, epoch: u64, bus: &mut Bus) {
+        if self.master.pending_switch() != Some(epoch) {
+            return; // the switch completed; the watchdog dies quietly
+        }
+        self.stats.switch_retries += 1;
+        self.trace.emit(now, Category::Gang, None, || {
+            format!("switch epoch {epoch} overdue: multicasting ResendProtocol")
+        });
+        let deliver = self.ctrl.multicast(now);
+        for node in 0..self.cfg.nodes {
+            bus.emit(
+                deliver,
+                DaemonEvent::CtrlToNode {
+                    node,
+                    cmd: NodedCmd::ResendProtocol { epoch },
+                },
+            );
+        }
+        bus.emit(
+            now + self.cfg.reliability.switch_retry,
+            DaemonEvent::SwitchRetryCheck { epoch },
+        );
     }
 
     /// A node-local scheduler tick (uncoordinated mode): rotate this
@@ -191,6 +228,52 @@ impl World {
                     self.nodes[node].apps.remove(&pid);
                 }
             }
+            NodedCmd::ResendProtocol { epoch } => self.on_resend_protocol(now, node, epoch, bus),
+        }
+    }
+
+    /// Reliability layer: the masterd suspects a lost halt/ready frame for
+    /// `epoch`. Re-send whatever protocol messages this node already
+    /// emitted, according to where it is in the switch. If the send engine
+    /// is mid-packet the attempt is skipped — the watchdog fires again.
+    fn on_resend_protocol(&mut self, now: SimTime, node: usize, epoch: u64, bus: &mut Bus) {
+        use gang_comm::sequencer::SwitchPhase;
+        let n = &self.nodes[node];
+        if n.send_engine_busy {
+            return;
+        }
+        match n.seq.phase() {
+            SwitchPhase::Idle => {
+                // Either we already finished the epoch (our ready may have
+                // been the lost frame) or our SwitchSlot has not been acted
+                // on yet (nothing to re-send).
+                if n.seq.last_finished() == Some(epoch) {
+                    self.rebroadcast_ready(now, node, bus);
+                }
+            }
+            SwitchPhase::Halting => {
+                debug_assert_eq!(n.seq.epoch, epoch);
+                if n.halt_broadcast_started {
+                    self.rebroadcast_halt(now, node, bus);
+                } else {
+                    // The original halt broadcast never ran (the engine was
+                    // busy when the halt bit was set and went idle without
+                    // re-checking, e.g. because the in-flight packet chain
+                    // died to wire loss): run it now, first time, for real.
+                    self.kick_send_engine(now, node, bus);
+                }
+            }
+            SwitchPhase::Copying => {
+                debug_assert_eq!(n.seq.epoch, epoch);
+                self.rebroadcast_halt(now, node, bus);
+            }
+            SwitchPhase::Releasing => {
+                debug_assert_eq!(n.seq.epoch, epoch);
+                // A peer may have missed our halt *or* our ready; re-send
+                // both (the ready re-broadcast chains off the halt
+                // completion, see `on_halt_broadcast_done`).
+                self.rebroadcast_halt(now, node, bus);
+            }
         }
     }
 
@@ -244,6 +327,9 @@ impl World {
         fm.allow_loss = self.cfg.strategy.may_drop()
             || self.cfg.wire_loss_ppm > 0
             || self.cfg.fm.policy == fastmsg::division::BufferPolicy::CachedEndpoints;
+        if self.cfg.reliability.enabled {
+            fm.enable_reliability(self.cfg.nodes);
+        }
         let proc = ProcSim {
             pid,
             job,
@@ -261,6 +347,9 @@ impl World {
             deferred_pkt: None,
             first_send: None,
             finished_at: None,
+            rel_timer_armed: false,
+            rel_backoff: 0,
+            rel_progress_mark: 0,
         };
         n.apps.insert(pid, proc);
         if !resident {

@@ -15,6 +15,7 @@
 //! modeled as a drop-notify once parking overflows).
 
 use gang_comm::switcher;
+use hostsim::process::Pid;
 use myrinet::broadcast::CONTROL_PACKET_BYTES;
 use sim_core::time::{Cycles, SimTime};
 use sim_core::trace::Category;
@@ -22,6 +23,7 @@ use sim_core::trace::Category;
 use crate::bus::Bus;
 use crate::event::{AppEvent, FmEvent, Frame, NicEvent};
 use crate::handlers::{AppHandler, FmHandler, NicHandler};
+use crate::procsim::ProcPhase;
 use crate::world::World;
 
 /// Extra parking beyond one endpoint's receive ring (headroom for refill
@@ -36,6 +38,7 @@ impl FmHandler for World {
     fn on_fm(&mut self, now: SimTime, ev: FmEvent, bus: &mut Bus) {
         match ev {
             FmEvent::FaultDone { node, job } => self.on_fault_done(now, node, job, bus),
+            FmEvent::RetransTimeout { node, pid } => self.on_retrans_timeout(now, node, pid, bus),
         }
     }
 
@@ -95,6 +98,85 @@ impl FmHandler for World {
 }
 
 impl World {
+    /// Reliability layer: make sure a RetransTimeout event is outstanding
+    /// for this process (armed on every fragment injection; cheap no-op
+    /// while one is pending). The delay grows exponentially with
+    /// consecutive no-progress firings.
+    pub(crate) fn arm_retrans_timer(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) {
+        debug_assert!(self.cfg.reliability.enabled);
+        let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+        if proc.rel_timer_armed {
+            return;
+        }
+        proc.rel_timer_armed = true;
+        let shift = proc.rel_backoff.min(self.cfg.reliability.backoff_cap);
+        let delay = Cycles(self.cfg.reliability.retrans_timeout.raw() << shift);
+        bus.emit(now + delay, FmEvent::RetransTimeout { node, pid });
+    }
+
+    /// The go-back-N retransmit timer fired. If the ack horizon moved since
+    /// the last firing the timer just re-arms; if not, the whole unacked
+    /// window is re-pushed into the context's (empty) send queue.
+    fn on_retrans_timeout(&mut self, now: SimTime, node: usize, pid: Pid, bus: &mut Bus) {
+        let Some(proc) = self.nodes[node].apps.get_mut(&pid) else {
+            return; // torn down while the event was in flight
+        };
+        proc.rel_timer_armed = false;
+        if proc.fm.rel_unacked() == 0 {
+            proc.rel_backoff = 0;
+            if proc.phase == ProcPhase::Finished {
+                // The last ack may have arrived with no Refill retry
+                // pending: the deferred teardown can proceed now.
+                self.try_end_job(now, node, pid, bus);
+            }
+            return;
+        }
+        let acked = proc.fm.rel_acked_total();
+        if acked > proc.rel_progress_mark {
+            // Acks are flowing — no loss suspected, just a long queue.
+            proc.rel_progress_mark = acked;
+            proc.rel_backoff = 0;
+            self.arm_retrans_timer(now, node, pid, bus);
+            return;
+        }
+        let job = proc.fm.job;
+        let n = &mut self.nodes[node];
+        let retransmitted = match n.nic.find_context(job) {
+            // Retransmit only through an idle, resident context with an
+            // empty send queue: anything still queued will be transmitted
+            // anyway, and duplicating it would only waste wire time.
+            Some(ctx_id) if n.nic.context(ctx_id).unwrap().send_q.is_empty() => {
+                let free = n.nic.context(ctx_id).unwrap().send_q.free();
+                let pkts = n.apps.get_mut(&pid).unwrap().fm.retransmit_packets(free);
+                let k = pkts.len() as u64;
+                debug_assert!(k > 0, "unacked window but nothing to retransmit");
+                for p in pkts {
+                    n.nic
+                        .context_mut(ctx_id)
+                        .unwrap()
+                        .send_q
+                        .push(p)
+                        .expect("retransmit overran the free space just measured");
+                }
+                // Host cost of scanning the ring and re-pushing.
+                let _ = n.cpu.reserve(now, self.cfg.fm_costs.retrans_scan * k);
+                self.stats.retransmits += k;
+                self.trace.emit(now, Category::Fm, Some(node), || {
+                    format!("{pid} go-back-N retransmit of {k} packets")
+                });
+                true
+            }
+            // Context swapped out (mid-switch) or queue busy: just back off.
+            _ => false,
+        };
+        let proc = self.nodes[node].apps.get_mut(&pid).unwrap();
+        proc.rel_backoff = (proc.rel_backoff + 1).min(self.cfg.reliability.backoff_cap);
+        self.arm_retrans_timer(now, node, pid, bus);
+        if retransmitted {
+            self.kick_send_engine(now, node, bus);
+        }
+    }
+
     fn start_fault(&mut self, now: SimTime, node: usize, job: u32, bus: &mut Bus) {
         let n = &mut self.nodes[node];
         n.fault_in_progress = Some(job);

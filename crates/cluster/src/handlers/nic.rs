@@ -65,10 +65,7 @@ impl NicHandler for World {
         }
         let dst = pkt.dst_host;
         bus.emit(tx.injection_done, NicEvent::SendEngineDone { node });
-        // Fault injection: FM assumes "an insignificant error rate on a
-        // SAN" (§2.2); a lost packet silently never arrives.
-        if self.cfg.wire_loss_ppm > 0 && self.rng.below(1_000_000) < self.cfg.wire_loss_ppm as u64 {
-            self.stats.wire_losses += 1;
+        if self.lose_frame() {
             return;
         }
         bus.emit(
@@ -94,6 +91,9 @@ impl NicHandler for World {
         let start = n.nic.reserve_engine(now, firmware);
         let res = serial_broadcast(&mut self.net, start, node, CONTROL_PACKET_BYTES);
         for (dst, tx) in &res {
+            if self.lose_frame() {
+                continue;
+            }
             bus.emit(
                 tx.arrival,
                 NicEvent::FrameArrive {
@@ -118,6 +118,9 @@ impl NicHandler for World {
         let start = n.nic.reserve_engine(now, firmware);
         let res = serial_broadcast(&mut self.net, start, node, CONTROL_PACKET_BYTES);
         for (dst, tx) in &res {
+            if self.lose_frame() {
+                continue;
+            }
             bus.emit(
                 tx.arrival,
                 NicEvent::FrameArrive {
@@ -146,6 +149,14 @@ impl NicHandler for World {
                 {
                     bus.emit_now(AppEvent::ProcKick { node, pid });
                 }
+                // Reliability: the piggybacked ack may have released the
+                // last unacked packet of a finished process whose teardown
+                // was deferred on it.
+                if self.cfg.reliability.enabled
+                    && self.nodes[node].apps[&pid].phase == ProcPhase::Finished
+                {
+                    self.try_end_job(now, node, pid, bus);
+                }
             }
             return;
         }
@@ -157,6 +168,26 @@ impl NicHandler for World {
                 // Virtual-networks semantics: hold the packet and fault
                 // the endpoint in.
                 self.vn_park_arrival(now, node, pkt, bus);
+            }
+            None if self.cfg.reliability.enabled => {
+                // A late retransmission arrived after the destination
+                // context was torn down (its job finished while copies were
+                // in flight). Send a context-free cumulative ack home so
+                // the sender's retransmit timer stops chasing it.
+                n.nic.stats.dropped_no_context += 1;
+                let ghost = pkt.ghost_ack();
+                let tx = self
+                    .net
+                    .transmit(now, node, ghost.dst_host, ghost.wire_bytes());
+                if !self.lose_frame() {
+                    bus.emit(
+                        tx.arrival,
+                        NicEvent::FrameArrive {
+                            node: ghost.dst_host,
+                            frame: Frame::Data(ghost),
+                        },
+                    );
+                }
             }
             None => {
                 // Only the no-flush baselines can reach this: the context
@@ -188,6 +219,14 @@ impl NicHandler for World {
             Some(ctx_id) => {
                 let src_host = pkt.src_host;
                 let job = pkt.job;
+                if self.cfg.reliability.enabled && n.nic.context(ctx_id).unwrap().recv_q.is_full() {
+                    // Retransmitted duplicates do not consume credits, so
+                    // they can arrive with the credit-sized ring already
+                    // full; drop silently — go-back-N retries until a slot
+                    // frees up.
+                    n.nic.stats.dropped_ring_full += 1;
+                    return;
+                }
                 n.nic
                     .context_mut(ctx_id)
                     .unwrap()
@@ -234,6 +273,20 @@ impl NicHandler for World {
 }
 
 impl World {
+    /// Fault injection: FM assumes "an insignificant error rate on a SAN"
+    /// (§2.2); a lost frame silently never arrives. Applied to data
+    /// packets, refills, and (so the recovery protocol is exercised too)
+    /// halt/ready control broadcasts. Never touches the RNG at
+    /// `wire_loss_ppm = 0`, keeping loss-free runs bit-identical.
+    fn lose_frame(&mut self) -> bool {
+        if self.cfg.wire_loss_ppm > 0 && self.rng.below(1_000_000) < self.cfg.wire_loss_ppm as u64 {
+            self.stats.wire_losses += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// The send engine finished injecting a packet.
     fn on_send_engine_done(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
         self.nodes[node].send_engine_busy = false;
@@ -278,7 +331,7 @@ impl World {
                 self.trace.emit(now, Category::Switch, Some(node), || {
                     format!("halt from n{src} (epoch {epoch})")
                 });
-                if self.nodes[node].seq.on_halt_msg(epoch) {
+                if self.nodes[node].seq.on_halt_msg(epoch, src) {
                     self.finish_flush(now, node, bus);
                 }
             }
@@ -288,7 +341,7 @@ impl World {
                 self.trace.emit(now, Category::Switch, Some(node), || {
                     format!("ready from n{src} (epoch {epoch})")
                 });
-                if self.nodes[node].seq.on_ready_msg(epoch) {
+                if self.nodes[node].seq.on_ready_msg(epoch, src) {
                     self.finish_release(now, node, bus);
                 }
             }
@@ -343,6 +396,13 @@ impl World {
         });
         if complete {
             self.finish_flush(now, node, bus);
+        } else if self.cfg.reliability.enabled
+            && self.nodes[node].seq.phase() == gang_comm::sequencer::SwitchPhase::Releasing
+        {
+            // This completion was a recovery re-broadcast from a node
+            // already past the flush: repeat the ready broadcast too, in
+            // case that was the frame that got lost.
+            self.rebroadcast_ready(now, node, bus);
         }
     }
 
@@ -351,6 +411,75 @@ impl World {
         self.nodes[node].send_engine_busy = false;
         if self.nodes[node].seq.on_local_ready() {
             self.finish_release(now, node, bus);
+        } else if self.cfg.reliability.enabled {
+            // A recovery re-broadcast completion (the sequencer treated it
+            // as a no-op): the engine was reserved for it, so let queued
+            // data traffic resume. During a real release this kick is a
+            // no-op — the halt bit is still set.
+            self.kick_send_engine(now, node, bus);
         }
+    }
+
+    /// Reliability layer: repeat the halt broadcast for the in-flight
+    /// epoch (a ResendProtocol response). Every receiver treats the copies
+    /// idempotently, including our own completion event.
+    pub(crate) fn rebroadcast_halt(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        debug_assert!(self.cfg.reliability.enabled);
+        let n = &mut self.nodes[node];
+        debug_assert!(!n.send_engine_busy);
+        n.send_engine_busy = true;
+        self.stats.rebroadcasts += 1;
+        let peers = self.cfg.nodes - 1;
+        let firmware = n.nic.costs.control_packet * peers as u64;
+        let epoch = n.seq.epoch;
+        n.nic.stats.control_sent += peers as u64;
+        let start = n.nic.reserve_engine(now, firmware);
+        let res = serial_broadcast(&mut self.net, start, node, CONTROL_PACKET_BYTES);
+        for (dst, tx) in &res {
+            if self.lose_frame() {
+                continue;
+            }
+            bus.emit(
+                tx.arrival,
+                NicEvent::FrameArrive {
+                    node: *dst,
+                    frame: Frame::Halt { epoch, src: node },
+                },
+            );
+        }
+        let done = res.last().map(|(_, tx)| tx.injection_done).unwrap_or(start);
+        self.nodes[node].nic.engine_extend_to(done);
+        bus.emit(done, NicEvent::HaltBroadcastDone { node });
+    }
+
+    /// Reliability layer: repeat the ready broadcast (see
+    /// [`World::rebroadcast_halt`]).
+    pub(crate) fn rebroadcast_ready(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        debug_assert!(self.cfg.reliability.enabled);
+        let n = &mut self.nodes[node];
+        debug_assert!(!n.send_engine_busy);
+        n.send_engine_busy = true;
+        self.stats.rebroadcasts += 1;
+        let peers = self.cfg.nodes - 1;
+        let firmware = n.nic.costs.control_packet * peers as u64;
+        let epoch = n.seq.epoch;
+        n.nic.stats.control_sent += peers as u64;
+        let start = n.nic.reserve_engine(now, firmware);
+        let res = serial_broadcast(&mut self.net, start, node, CONTROL_PACKET_BYTES);
+        for (dst, tx) in &res {
+            if self.lose_frame() {
+                continue;
+            }
+            bus.emit(
+                tx.arrival,
+                NicEvent::FrameArrive {
+                    node: *dst,
+                    frame: Frame::Ready { epoch, src: node },
+                },
+            );
+        }
+        let done = res.last().map(|(_, tx)| tx.injection_done).unwrap_or(start);
+        self.nodes[node].nic.engine_extend_to(done);
+        bus.emit(done, NicEvent::ReadyBroadcastDone { node });
     }
 }

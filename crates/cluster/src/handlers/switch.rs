@@ -230,7 +230,7 @@ impl SwitchHandler for World {
         self.trace
             .emit(now, Category::Switch, Some(node), || "flushed".to_string());
         // COMM_context_switch: swap buffers.
-        self.comm_context_switch(now, node, bus)
+        self.comm_context_switch(now, node, None, None, bus)
             .expect("copy ordered before flush completed");
     }
 

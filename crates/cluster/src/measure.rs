@@ -26,23 +26,143 @@ pub struct BandwidthCell {
     pub completed: bool,
     /// Initial credits (`C0`) the configuration yields.
     pub credits: usize,
+    /// Frames dropped by the fault injector (0 unless `wire_loss_ppm`).
+    pub wire_losses: u64,
+    /// Go-back-N retransmissions (0 unless reliability was enabled).
+    pub retransmits: u64,
 }
 
-/// [`fig5_cell`] with an explicit credit-rounding mode (the rounding knob
-/// behind the n=7-vs-8 cutoff discussion in EXPERIMENTS.md).
-pub fn fig5_cell_rounded(
+/// One configurable paper experiment.
+///
+/// The figure constructors ([`Measurement::fig5`], [`Measurement::fig6`],
+/// [`Measurement::switch_overhead`]) fix the experiment-specific
+/// parameters; the fluent setters adjust the knobs every experiment
+/// shares (seed, packet-train batching, fault injection, the reliability
+/// layer); [`run`](Measurement::run) builds the cluster and returns the
+/// figure's quantities.
+///
+/// ```no_run
+/// use cluster::measure::Measurement;
+/// let cell = Measurement::fig5(4, 65_536, 100).seed(42).batch(16).run();
+/// assert!(cell.completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Measurement<K> {
+    kind: K,
+    seed: u64,
+    batch: usize,
+    wire_loss_ppm: u32,
+    reliability: bool,
+}
+
+impl<K> Measurement<K> {
+    fn with_kind(kind: K) -> Self {
+        Measurement {
+            kind,
+            seed: 0,
+            batch: 0,
+            wire_loss_ppm: 0,
+            reliability: false,
+        }
+    }
+
+    /// RNG seed for the run (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fragments per fused packet train on the burst fast path (0, the
+    /// default, disables it). The result is byte-identical to the
+    /// unbatched run — `tests/determinism.rs` asserts it.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Drop each injected wire frame with this probability, in parts per
+    /// million (default 0 — the paper's reliable SAN).
+    pub fn wire_loss_ppm(mut self, ppm: u32) -> Self {
+        self.wire_loss_ppm = ppm;
+        self
+    }
+
+    /// Enable the opt-in go-back-N reliability layer (default off — the
+    /// paper's FM has no retransmission).
+    pub fn reliability(mut self, on: bool) -> Self {
+        self.reliability = on;
+        self
+    }
+
+    fn apply_common(&self, cfg: &mut ClusterConfig) {
+        cfg.seed = self.seed;
+        cfg.batch = self.batch;
+        cfg.wire_loss_ppm = self.wire_loss_ppm;
+        cfg.reliability.enabled = self.reliability;
+    }
+}
+
+/// Parameters of a Fig. 5 bandwidth cell (see [`Measurement::fig5`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5 {
     contexts: usize,
     msg_bytes: u64,
     count: u64,
-    seed: u64,
-    rounding: fastmsg::division::CreditRounding,
-) -> BandwidthCell {
-    let mut cfg = ClusterConfig::parpar(16, contexts.max(2), BufferPolicy::StaticDivision);
-    cfg.fm.max_contexts = contexts;
-    cfg.fm.rounding = rounding;
-    cfg.auto_rotate = false;
-    cfg.seed = seed;
-    run_p2p_cell(cfg, msg_bytes, count)
+    rounding: Option<fastmsg::division::CreditRounding>,
+    mem_scale: Option<f64>,
+}
+
+impl Measurement<Fig5> {
+    /// Fig. 5: point-to-point bandwidth under the original FM static
+    /// buffer division, with `contexts` configured contexts per host and
+    /// `count` messages of `msg_bytes`.
+    ///
+    /// The benchmark runs as the only job (no context switches occur),
+    /// exactly as in the paper.
+    pub fn fig5(contexts: usize, msg_bytes: u64, count: u64) -> Self {
+        Measurement::with_kind(Fig5 {
+            contexts,
+            msg_bytes,
+            count,
+            rounding: None,
+            mem_scale: None,
+        })
+    }
+
+    /// Explicit credit-rounding mode (the knob behind the n=7-vs-8
+    /// cutoff discussion in EXPERIMENTS.md).
+    pub fn rounding(mut self, rounding: fastmsg::division::CreditRounding) -> Self {
+        self.kind.rounding = Some(rounding);
+        self
+    }
+
+    /// Scale the NIC buffer regions — the §4.1 remark that "as the
+    /// available [NIC] memory grows, more contexts can be supported",
+    /// made sweepable.
+    pub fn mem_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.kind.mem_scale = Some(scale);
+        self
+    }
+
+    /// Build the cluster, run the p2p benchmark, and report the cell.
+    pub fn run(self) -> BandwidthCell {
+        let k = self.kind;
+        let mut cfg = ClusterConfig::parpar(16, k.contexts.max(2), BufferPolicy::StaticDivision);
+        cfg.fm.max_contexts = k.contexts;
+        if let Some(r) = k.rounding {
+            cfg.fm.rounding = r;
+        }
+        if let Some(scale) = k.mem_scale {
+            cfg.fm.send_slots_total = (cfg.fm.send_slots_total as f64 * scale) as usize;
+            cfg.fm.recv_slots_total = (cfg.fm.recv_slots_total as f64 * scale) as usize;
+            cfg.fm.send_region_bytes = (cfg.fm.send_region_bytes as f64 * scale) as u64;
+            cfg.fm.recv_region_bytes = (cfg.fm.recv_region_bytes as f64 * scale) as u64;
+        }
+        cfg.auto_rotate = false;
+        self.apply_common(&mut cfg);
+        run_p2p_cell(cfg, k.msg_bytes, k.count)
+    }
 }
 
 fn run_p2p_cell(cfg: ClusterConfig, msg_bytes: u64, count: u64) -> BandwidthCell {
@@ -68,12 +188,26 @@ fn run_p2p_cell(cfg: ClusterConfig, msg_bytes: u64, count: u64) -> BandwidthCell
         mbps,
         completed,
         credits,
+        wire_losses: sim.world().stats.wire_losses,
+        retransmits: sim.world().stats.retransmits,
     }
 }
 
-/// [`fig5_cell`] with the NIC buffers scaled by `mem_scale` — the §4.1
-/// remark that "as the available [NIC] memory grows, more contexts can
-/// be supported", made sweepable.
+/// [`Measurement::fig5`] with an explicit credit-rounding mode.
+pub fn fig5_cell_rounded(
+    contexts: usize,
+    msg_bytes: u64,
+    count: u64,
+    seed: u64,
+    rounding: fastmsg::division::CreditRounding,
+) -> BandwidthCell {
+    Measurement::fig5(contexts, msg_bytes, count)
+        .rounding(rounding)
+        .seed(seed)
+        .run()
+}
+
+/// [`Measurement::fig5`] with the NIC buffers scaled by `mem_scale`.
 pub fn fig5_cell_scaled(
     contexts: usize,
     msg_bytes: u64,
@@ -81,30 +215,22 @@ pub fn fig5_cell_scaled(
     seed: u64,
     mem_scale: f64,
 ) -> BandwidthCell {
-    assert!(mem_scale > 0.0);
-    let mut cfg = ClusterConfig::parpar(16, contexts.max(2), BufferPolicy::StaticDivision);
-    cfg.fm.max_contexts = contexts;
-    cfg.fm.send_slots_total = (cfg.fm.send_slots_total as f64 * mem_scale) as usize;
-    cfg.fm.recv_slots_total = (cfg.fm.recv_slots_total as f64 * mem_scale) as usize;
-    cfg.fm.send_region_bytes = (cfg.fm.send_region_bytes as f64 * mem_scale) as u64;
-    cfg.fm.recv_region_bytes = (cfg.fm.recv_region_bytes as f64 * mem_scale) as u64;
-    cfg.auto_rotate = false;
-    cfg.seed = seed;
-    run_p2p_cell(cfg, msg_bytes, count)
+    Measurement::fig5(contexts, msg_bytes, count)
+        .mem_scale(mem_scale)
+        .seed(seed)
+        .run()
 }
 
-/// Fig. 5: point-to-point bandwidth under the original FM static buffer
-/// division, with `contexts` configured contexts per host.
-///
-/// The benchmark runs as the only job (no context switches occur), exactly
-/// as in the paper.
+/// Deprecated free-function form of [`Measurement::fig5`].
+#[deprecated(note = "use `Measurement::fig5(contexts, msg_bytes, count).seed(seed).run()`")]
 pub fn fig5_cell(contexts: usize, msg_bytes: u64, count: u64, seed: u64) -> BandwidthCell {
-    fig5_cell_batch(contexts, msg_bytes, count, seed, 0)
+    Measurement::fig5(contexts, msg_bytes, count)
+        .seed(seed)
+        .run()
 }
 
-/// [`fig5_cell`] with the burst fast path enabled (`batch` fragments per
-/// fused packet train; 0 disables). The result is byte-identical to the
-/// unbatched run — `tests/determinism.rs` asserts it.
+/// Deprecated free-function form of [`Measurement::fig5`] + [`batch`](Measurement::batch).
+#[deprecated(note = "use `Measurement::fig5(..).batch(batch).seed(seed).run()`")]
 pub fn fig5_cell_batch(
     contexts: usize,
     msg_bytes: u64,
@@ -112,12 +238,10 @@ pub fn fig5_cell_batch(
     seed: u64,
     batch: usize,
 ) -> BandwidthCell {
-    let mut cfg = ClusterConfig::parpar(16, contexts.max(2), BufferPolicy::StaticDivision);
-    cfg.fm.max_contexts = contexts;
-    cfg.auto_rotate = false;
-    cfg.seed = seed;
-    cfg.batch = batch;
-    run_p2p_cell(cfg, msg_bytes, count)
+    Measurement::fig5(contexts, msg_bytes, count)
+        .seed(seed)
+        .batch(batch)
+        .run()
 }
 
 /// Result of a Fig. 6 cell: several identical jobs gang-scheduled over the
@@ -134,12 +258,50 @@ pub struct MultiJobCell {
     pub credits: usize,
 }
 
-/// Fig. 6: total bandwidth with `jobs` p2p benchmarks time-sliced on the
-/// same node pair under the buffer-switching scheme.
-///
-/// `quantum` is the gang quantum (paper used 3 s; the result is invariant,
-/// which `tests/` verifies); the measurement runs for `duration` after a
-/// warmup rotation through all jobs.
+/// Parameters of a Fig. 6 multi-job cell (see [`Measurement::fig6`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6 {
+    jobs: usize,
+    msg_bytes: u64,
+    quantum: Cycles,
+    duration: Cycles,
+}
+
+impl Measurement<Fig6> {
+    /// Fig. 6: total bandwidth with `jobs` p2p benchmarks time-sliced on
+    /// the same node pair under the buffer-switching scheme.
+    ///
+    /// `quantum` is the gang quantum (paper used 3 s; the result is
+    /// invariant, which `tests/` verifies); the measurement runs for
+    /// `duration` after a warmup rotation through all jobs.
+    pub fn fig6(jobs: usize, msg_bytes: u64, quantum: Cycles, duration: Cycles) -> Self {
+        assert!(jobs >= 1);
+        Measurement::with_kind(Fig6 {
+            jobs,
+            msg_bytes,
+            quantum,
+            duration,
+        })
+    }
+
+    /// Build the cluster, run the time-sliced benchmarks, and report.
+    pub fn run(self) -> MultiJobCell {
+        let Fig6 {
+            jobs,
+            msg_bytes,
+            quantum,
+            duration,
+        } = self.kind;
+        let mut cfg = ClusterConfig::parpar(16, jobs.max(1), BufferPolicy::FullBuffer);
+        cfg.quantum = quantum;
+        cfg.copy = CopyStrategy::ValidOnly;
+        self.apply_common(&mut cfg);
+        run_fig6_cell(cfg, jobs, msg_bytes, quantum, duration)
+    }
+}
+
+/// Deprecated free-function form of [`Measurement::fig6`].
+#[deprecated(note = "use `Measurement::fig6(jobs, msg_bytes, quantum, duration).seed(seed).run()`")]
 pub fn fig6_cell(
     jobs: usize,
     msg_bytes: u64,
@@ -147,11 +309,13 @@ pub fn fig6_cell(
     duration: Cycles,
     seed: u64,
 ) -> MultiJobCell {
-    fig6_cell_batch(jobs, msg_bytes, quantum, duration, seed, 0)
+    Measurement::fig6(jobs, msg_bytes, quantum, duration)
+        .seed(seed)
+        .run()
 }
 
-/// [`fig6_cell`] with the burst fast path enabled (`batch` fragments per
-/// fused packet train; 0 disables).
+/// Deprecated free-function form of [`Measurement::fig6`] + [`batch`](Measurement::batch).
+#[deprecated(note = "use `Measurement::fig6(..).batch(batch).seed(seed).run()`")]
 pub fn fig6_cell_batch(
     jobs: usize,
     msg_bytes: u64,
@@ -160,12 +324,19 @@ pub fn fig6_cell_batch(
     seed: u64,
     batch: usize,
 ) -> MultiJobCell {
-    assert!(jobs >= 1);
-    let mut cfg = ClusterConfig::parpar(16, jobs.max(1), BufferPolicy::FullBuffer);
-    cfg.quantum = quantum;
-    cfg.seed = seed;
-    cfg.batch = batch;
-    cfg.copy = CopyStrategy::ValidOnly;
+    Measurement::fig6(jobs, msg_bytes, quantum, duration)
+        .seed(seed)
+        .batch(batch)
+        .run()
+}
+
+fn run_fig6_cell(
+    cfg: ClusterConfig,
+    jobs: usize,
+    msg_bytes: u64,
+    quantum: Cycles,
+    duration: Cycles,
+) -> MultiJobCell {
     let credits = cfg.fm.geometry().credits;
     let mut sim = Sim::new(cfg);
     let mut ids = Vec::new();
@@ -231,9 +402,57 @@ pub struct SwitchOverheadRun {
     pub drops: u64,
 }
 
-/// Figs. 7/8/9: two all-to-all jobs on `nodes` nodes, gang-switched with
-/// `copy`, measuring per-stage cycles and queue occupancy until at least
-/// `switches` cluster-wide switches completed.
+/// Parameters of a switch-overhead run (see
+/// [`Measurement::switch_overhead`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchOverhead {
+    nodes: usize,
+    copy: CopyStrategy,
+    strategy: SwitchStrategy,
+    switches: u64,
+}
+
+impl Measurement<SwitchOverhead> {
+    /// Figs. 7/8/9: two all-to-all jobs on `nodes` nodes, gang-switched
+    /// with `copy` under `strategy`, measuring per-stage cycles and queue
+    /// occupancy until at least `switches` cluster-wide switches
+    /// completed.
+    pub fn switch_overhead(
+        nodes: usize,
+        copy: CopyStrategy,
+        strategy: SwitchStrategy,
+        switches: u64,
+    ) -> Self {
+        assert!(nodes >= 2);
+        Measurement::with_kind(SwitchOverhead {
+            nodes,
+            copy,
+            strategy,
+            switches,
+        })
+    }
+
+    /// Build the cluster, gang-switch until enough samples, and report.
+    pub fn run(self) -> SwitchOverheadRun {
+        let SwitchOverhead {
+            nodes,
+            copy,
+            strategy,
+            switches,
+        } = self.kind;
+        let mut cfg = ClusterConfig::parpar(nodes, 2, BufferPolicy::FullBuffer);
+        cfg.copy = copy;
+        cfg.strategy = strategy;
+        // A short quantum packs many switches into little simulated time;
+        // the stage costs are quantum-independent (verified in tests/).
+        cfg.quantum = Cycles::from_ms(50);
+        self.apply_common(&mut cfg);
+        run_switch_overhead(cfg, nodes, switches)
+    }
+}
+
+/// Figs. 7/8/9 with the default (unbatched) fast-path setting — see
+/// [`Measurement::switch_overhead`].
 pub fn switch_overhead_run(
     nodes: usize,
     copy: CopyStrategy,
@@ -241,11 +460,14 @@ pub fn switch_overhead_run(
     switches: u64,
     seed: u64,
 ) -> SwitchOverheadRun {
-    switch_overhead_run_batch(nodes, copy, strategy, switches, seed, 0)
+    Measurement::switch_overhead(nodes, copy, strategy, switches)
+        .seed(seed)
+        .run()
 }
 
-/// [`switch_overhead_run`] with the burst fast path enabled (`batch`
-/// fragments per fused packet train; 0 disables).
+/// Deprecated free-function form of [`Measurement::switch_overhead`] +
+/// [`batch`](Measurement::batch).
+#[deprecated(note = "use `Measurement::switch_overhead(..).batch(batch).seed(seed).run()`")]
 pub fn switch_overhead_run_batch(
     nodes: usize,
     copy: CopyStrategy,
@@ -254,15 +476,13 @@ pub fn switch_overhead_run_batch(
     seed: u64,
     batch: usize,
 ) -> SwitchOverheadRun {
-    assert!(nodes >= 2);
-    let mut cfg = ClusterConfig::parpar(nodes, 2, BufferPolicy::FullBuffer);
-    cfg.copy = copy;
-    cfg.strategy = strategy;
-    cfg.seed = seed;
-    cfg.batch = batch;
-    // A short quantum packs many switches into little simulated time; the
-    // stage costs are quantum-independent (verified in tests/).
-    cfg.quantum = Cycles::from_ms(50);
+    Measurement::switch_overhead(nodes, copy, strategy, switches)
+        .seed(seed)
+        .batch(batch)
+        .run()
+}
+
+fn run_switch_overhead(cfg: ClusterConfig, nodes: usize, switches: u64) -> SwitchOverheadRun {
     let mut sim = Sim::new(cfg);
     let all: Vec<usize> = (0..nodes).collect();
     let a = AllToAll::stress(nodes);
@@ -397,15 +617,16 @@ mod tests {
 
     #[test]
     fn fig5_single_context_delivers_high_bandwidth() {
-        let c = fig5_cell(1, 65536, 200, 1);
+        let c = Measurement::fig5(1, 65536, 200).seed(1).run();
         assert!(c.completed);
         assert_eq!(c.credits, 41);
         assert!(c.mbps > 50.0, "{c:?}");
+        assert_eq!((c.wire_losses, c.retransmits), (0, 0));
     }
 
     #[test]
     fn fig5_seven_contexts_cannot_communicate() {
-        let c = fig5_cell(7, 1024, 50, 1);
+        let c = Measurement::fig5(7, 1024, 50).seed(1).run();
         assert_eq!(c.credits, 0);
         assert!(!c.completed);
         assert_eq!(c.mbps, 0.0);

@@ -93,6 +93,14 @@ pub struct ProcSim {
     pub first_send: Option<SimTime>,
     /// When the program returned Done.
     pub finished_at: Option<SimTime>,
+    /// Reliability layer: a RetransTimeout event is outstanding.
+    pub rel_timer_armed: bool,
+    /// Reliability layer: consecutive timer firings without ack progress
+    /// (exponential backoff shift, capped by `RelConfig::backoff_cap`).
+    pub rel_backoff: u32,
+    /// Reliability layer: `rel_acked_total()` at the last timer firing —
+    /// progress since then resets the backoff instead of retransmitting.
+    pub rel_progress_mark: u64,
 }
 
 impl std::fmt::Debug for ProcSim {

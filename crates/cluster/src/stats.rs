@@ -45,6 +45,14 @@ pub struct WorldStats {
     pub wire_losses: u64,
     /// Completed cluster-wide switches.
     pub switches: u64,
+    /// Reliability layer: packets re-injected by go-back-N timeouts.
+    pub retransmits: u64,
+    /// Reliability layer: halt/ready broadcasts repeated after a
+    /// ResendProtocol command.
+    pub rebroadcasts: u64,
+    /// Reliability layer: masterd switch-watchdog firings that found the
+    /// switch still in flight and multicast a ResendProtocol.
+    pub switch_retries: u64,
 }
 
 impl WorldStats {

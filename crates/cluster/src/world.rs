@@ -102,6 +102,13 @@ impl World {
             w.comm_init_node(SimTime::ZERO, node)
                 .expect("node initialization cannot fail at boot");
         }
+        // Reliability layer: halt/ready frames can be lost and re-sent, so
+        // the switch sequencers must tolerate duplicates and stale copies.
+        if w.cfg.reliability.enabled {
+            for n in &mut w.nodes {
+                n.seq.set_recovery(true);
+            }
+        }
         w
     }
 

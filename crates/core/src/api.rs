@@ -22,6 +22,8 @@ pub enum CommError {
     NoResources,
     /// The job is unknown to this node.
     UnknownJob,
+    /// The node index is not part of the cluster topology.
+    UnknownNode,
     /// A phase was invoked out of order (e.g. context_switch before the
     /// network halted).
     BadPhase,
@@ -50,7 +52,10 @@ pub trait CommManager {
     /// `COMM_init_job` — allocate a communication context and prepare the
     /// environment variables `FM_initialize` will read. Called *before*
     /// the fork so arriving packets can already be received (paper §3.2).
-    fn init_job(&mut self, now: SimTime, job: CommJob, rank: usize) -> Result<(), CommError>;
+    /// Returns whether the context came up NIC-resident: under the
+    /// buffer-switching and endpoint-caching schemes a job loaded into an
+    /// inactive slot starts life in the backing store instead.
+    fn init_job(&mut self, now: SimTime, job: CommJob, rank: usize) -> Result<bool, CommError>;
 
     /// `COMM_end_job` — release the job's context and clean up.
     fn end_job(&mut self, now: SimTime, job: CommJob) -> Result<(), CommError>;

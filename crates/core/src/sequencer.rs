@@ -15,6 +15,8 @@
 //! them when the switch starts, which is exactly the `S,k (k>0)` left
 //! column of the Fig. 3 state graph.
 
+use std::collections::BTreeSet;
+
 use sim_core::time::{Cycles, SimTime};
 
 use crate::flush::{BarrierKind, FlushMachine};
@@ -69,6 +71,19 @@ pub struct SwitchSequencer {
     early_epoch: Option<u64>,
     early_halts: usize,
     early_readys: usize,
+    /// Recovery mode (reliability layer): control packets may be lost and
+    /// re-broadcast, so peer messages are deduplicated by source node,
+    /// stale re-broadcasts for finished epochs are dropped, and local
+    /// transitions become idempotent. Off by default — the strict Fig. 3
+    /// protocol asserts exactly-once delivery instead.
+    recovery: bool,
+    /// Epoch of the last completed switch (recovery mode: anything ≤ this
+    /// is a stale re-broadcast).
+    last_finished: Option<u64>,
+    /// Recovery mode: peers whose halt we already counted this epoch.
+    halt_srcs: BTreeSet<usize>,
+    /// Recovery mode: peers whose ready we already counted this epoch.
+    ready_srcs: BTreeSet<usize>,
 }
 
 impl SwitchSequencer {
@@ -88,12 +103,23 @@ impl SwitchSequencer {
             early_epoch: None,
             early_halts: 0,
             early_readys: 0,
+            recovery: false,
+            last_finished: None,
+            halt_srcs: BTreeSet::new(),
+            ready_srcs: BTreeSet::new(),
         }
     }
 
     /// Current phase.
     pub fn phase(&self) -> SwitchPhase {
         self.phase
+    }
+
+    /// Enable or disable recovery mode (see the field docs). Must only be
+    /// flipped while idle.
+    pub fn set_recovery(&mut self, on: bool) {
+        assert_eq!(self.phase, SwitchPhase::Idle);
+        self.recovery = on;
     }
 
     /// Begin a switch (SwitchSlot command received at `now`). Any buffered
@@ -134,21 +160,39 @@ impl SwitchSequencer {
     }
 
     /// The local NIC finished its halt broadcast.
-    /// Returns `true` if the flush just completed.
+    /// Returns `true` if the flush just completed. In recovery mode a
+    /// repeated local halt (re-broadcast completion) is an ignored no-op.
     pub fn on_local_halt(&mut self) -> bool {
+        if self.recovery && (self.phase != SwitchPhase::Halting || self.flush.local_done()) {
+            return false;
+        }
         assert_eq!(self.phase, SwitchPhase::Halting);
         self.flush.on_local();
         self.flush.complete()
     }
 
-    /// A halt control packet for `epoch` arrived.
+    /// A halt control packet for `epoch` arrived from peer `src`.
     /// Returns `true` if the flush just completed.
-    pub fn on_halt_msg(&mut self, epoch: u64) -> bool {
+    pub fn on_halt_msg(&mut self, epoch: u64, src: usize) -> bool {
+        if self.recovery {
+            if self.last_finished.is_some_and(|e| epoch <= e) {
+                return false; // stale re-broadcast of a finished epoch
+            }
+            if !self.halt_srcs.insert(src) {
+                return false; // duplicate from the same peer
+            }
+        }
         if self.phase == SwitchPhase::Idle {
             self.buffer_early(epoch, false);
             return false;
         }
         assert_eq!(epoch, self.epoch, "halt message from a different epoch");
+        if self.recovery && self.phase != SwitchPhase::Halting {
+            // The flush already completed with the original copy of this
+            // halt; the retransmitted one arrived late. Counted in the
+            // dedup set above so a third copy stays cheap.
+            return false;
+        }
         assert_eq!(
             self.phase,
             SwitchPhase::Halting,
@@ -173,17 +217,30 @@ impl SwitchSequencer {
         self.copy_done = now;
     }
 
-    /// The local NIC finished its ready broadcast.
+    /// The local NIC finished its ready broadcast. In recovery mode a
+    /// repeated local ready (re-broadcast completion) is an ignored no-op.
     pub fn on_local_ready(&mut self) -> bool {
+        if self.recovery && (self.phase != SwitchPhase::Releasing || self.release.local_done()) {
+            return false;
+        }
         assert_eq!(self.phase, SwitchPhase::Releasing);
         self.release.on_local();
         self.release.complete()
     }
 
-    /// A ready control packet for `epoch` arrived. Fast peers may send
-    /// ready while we are still halting or copying; the count is accepted
-    /// in any phase (buffered if we have not even started).
-    pub fn on_ready_msg(&mut self, epoch: u64) -> bool {
+    /// A ready control packet for `epoch` arrived from peer `src`. Fast
+    /// peers may send ready while we are still halting or copying; the
+    /// count is accepted in any phase (buffered if we have not even
+    /// started).
+    pub fn on_ready_msg(&mut self, epoch: u64, src: usize) -> bool {
+        if self.recovery {
+            if self.last_finished.is_some_and(|e| epoch <= e) {
+                return false; // stale re-broadcast of a finished epoch
+            }
+            if !self.ready_srcs.insert(src) {
+                return false; // duplicate from the same peer
+            }
+        }
         if self.phase == SwitchPhase::Idle {
             self.buffer_early(epoch, true);
             return false;
@@ -199,6 +256,9 @@ impl SwitchSequencer {
         assert_eq!(self.phase, SwitchPhase::Releasing);
         assert!(self.release.complete(), "release not actually complete");
         self.phase = SwitchPhase::Idle;
+        self.last_finished = Some(self.epoch);
+        self.halt_srcs.clear();
+        self.ready_srcs.clear();
         StageBreakdown {
             halt: self.halt_done.since(self.started),
             buffer_switch: self.copy_done.since(self.halt_done),
@@ -210,6 +270,12 @@ impl SwitchSequencer {
     /// broadcast finishes after all peer readys already arrived)?
     pub fn release_ready(&self) -> bool {
         self.release.complete()
+    }
+
+    /// Epoch of the last completed switch, if any (recovery mode: a node
+    /// answering a ResendProtocol for this epoch re-sends ready only).
+    pub fn last_finished(&self) -> Option<u64> {
+        self.last_finished
     }
 
     /// Fig. 3 state label of the flush machine (for traces).
@@ -225,8 +291,8 @@ mod tests {
     fn run_one(peers: usize) -> StageBreakdown {
         let mut s = SwitchSequencer::new(peers);
         s.start(SimTime(1000), 1, 0, 1);
-        for _ in 0..peers {
-            s.on_halt_msg(1);
+        for src in 0..peers {
+            s.on_halt_msg(1, src);
         }
         assert!(s.on_local_halt());
         s.flush_complete(SimTime(3000));
@@ -234,7 +300,7 @@ mod tests {
         let local_completes = s.on_local_ready();
         assert_eq!(local_completes, peers == 0);
         for i in 0..peers {
-            let done = s.on_ready_msg(1);
+            let done = s.on_ready_msg(1, i);
             assert_eq!(done, i + 1 == peers);
         }
         s.finish(SimTime(12_000))
@@ -254,12 +320,12 @@ mod tests {
         let mut s = SwitchSequencer::new(1);
         for epoch in 1..=3 {
             s.start(SimTime(epoch * 100_000), epoch, 0, 1);
-            s.on_halt_msg(epoch);
+            s.on_halt_msg(epoch, 0);
             assert!(s.on_local_halt());
             s.flush_complete(SimTime(epoch * 100_000 + 10));
             s.copy_complete(SimTime(epoch * 100_000 + 20));
             s.on_local_ready();
-            assert!(s.on_ready_msg(epoch));
+            assert!(s.on_ready_msg(epoch, 0));
             let b = s.finish(SimTime(epoch * 100_000 + 30));
             assert_eq!(b.total(), Cycles(30));
             assert_eq!(s.phase(), SwitchPhase::Idle);
@@ -270,8 +336,8 @@ mod tests {
     fn early_halt_before_switch_command_is_buffered() {
         // Fig. 3's left column: a peer halts before our noded notifies us.
         let mut s = SwitchSequencer::new(2);
-        assert!(!s.on_halt_msg(5));
-        assert!(!s.on_halt_msg(5));
+        assert!(!s.on_halt_msg(5, 1));
+        assert!(!s.on_halt_msg(5, 2));
         assert_eq!(s.phase(), SwitchPhase::Idle);
         // start applies the buffered halts: only the local halt remains.
         assert!(!s.start(SimTime(0), 5, 0, 1));
@@ -282,12 +348,12 @@ mod tests {
     fn early_ready_messages_are_counted_during_copy() {
         let mut s = SwitchSequencer::new(2);
         s.start(SimTime(0), 1, 0, 1);
-        s.on_halt_msg(1);
-        s.on_halt_msg(1);
+        s.on_halt_msg(1, 1);
+        s.on_halt_msg(1, 2);
         assert!(s.on_local_halt());
         s.flush_complete(SimTime(10));
-        assert!(!s.on_ready_msg(1)); // during Copying
-        assert!(!s.on_ready_msg(1));
+        assert!(!s.on_ready_msg(1, 1)); // during Copying
+        assert!(!s.on_ready_msg(1, 2));
         s.copy_complete(SimTime(20));
         assert!(s.on_local_ready());
         let b = s.finish(SimTime(25));
@@ -299,7 +365,7 @@ mod tests {
     fn cross_epoch_halt_panics() {
         let mut s = SwitchSequencer::new(2);
         s.start(SimTime(0), 3, 0, 1);
-        s.on_halt_msg(2);
+        s.on_halt_msg(2, 1);
     }
 
     #[test]
@@ -308,5 +374,67 @@ mod tests {
         let mut s = SwitchSequencer::new(1);
         s.start(SimTime(0), 1, 0, 1);
         s.start(SimTime(1), 2, 1, 0);
+    }
+
+    #[test]
+    fn recovery_dedups_halts_by_source() {
+        let mut s = SwitchSequencer::new(2);
+        s.set_recovery(true);
+        s.start(SimTime(0), 1, 0, 1);
+        assert!(!s.on_halt_msg(1, 1));
+        // A re-broadcast copy of the same peer's halt changes nothing.
+        assert!(!s.on_halt_msg(1, 1));
+        assert!(!s.on_halt_msg(1, 1));
+        assert!(!s.on_halt_msg(1, 2));
+        assert!(s.on_local_halt());
+    }
+
+    #[test]
+    fn recovery_local_transitions_are_idempotent() {
+        let mut s = SwitchSequencer::new(1);
+        s.set_recovery(true);
+        s.start(SimTime(0), 1, 0, 1);
+        assert!(!s.on_local_halt());
+        // A second halt-broadcast completion (re-broadcast) is a no-op.
+        assert!(!s.on_local_halt());
+        assert!(s.on_halt_msg(1, 1));
+        s.flush_complete(SimTime(10));
+        // Late retransmit of a counted halt while Copying: ignored.
+        assert!(!s.on_halt_msg(1, 1));
+        s.copy_complete(SimTime(20));
+        assert!(!s.on_local_ready());
+        assert!(!s.on_local_ready());
+        assert!(s.on_ready_msg(1, 1));
+        s.finish(SimTime(30));
+        assert_eq!(s.last_finished(), Some(1));
+    }
+
+    #[test]
+    fn recovery_drops_stale_rebroadcasts_of_finished_epochs() {
+        let mut s = SwitchSequencer::new(1);
+        s.set_recovery(true);
+        s.start(SimTime(0), 1, 0, 1);
+        s.on_local_halt();
+        s.on_halt_msg(1, 1);
+        s.flush_complete(SimTime(10));
+        s.copy_complete(SimTime(20));
+        s.on_local_ready();
+        s.on_ready_msg(1, 1);
+        s.finish(SimTime(30));
+        // Straggling re-broadcasts of epoch 1 while idle: dropped, not
+        // buffered (they must not pollute epoch 2's early-message buffer,
+        // and a cross-epoch assert must not fire).
+        assert!(!s.on_halt_msg(1, 1));
+        assert!(!s.on_ready_msg(1, 1));
+        // Epoch 2 still starts clean and the peer's messages count once.
+        assert!(!s.on_halt_msg(2, 1)); // genuinely early for epoch 2
+        s.start(SimTime(100), 2, 0, 1);
+        assert!(s.on_local_halt());
+        s.flush_complete(SimTime(110));
+        s.copy_complete(SimTime(120));
+        s.on_local_ready();
+        assert!(s.on_ready_msg(2, 1));
+        s.finish(SimTime(130));
+        assert_eq!(s.last_finished(), Some(2));
     }
 }

@@ -23,6 +23,9 @@ pub struct FmCosts {
     pub extract_per_packet: Cycles,
     /// Host cost of processing a received dedicated refill message.
     pub refill_processing: Cycles,
+    /// Reliability layer: per-packet cost of scanning the retransmit ring
+    /// and re-pushing one unacked packet into the NIC send queue.
+    pub retrans_scan: Cycles,
 }
 
 impl Default for FmCosts {
@@ -33,6 +36,7 @@ impl Default for FmCosts {
             inject_bw: 80_000_000,
             extract_per_packet: Cycles(500),
             refill_processing: Cycles(200),
+            retrans_scan: Cycles(300),
         }
     }
 }

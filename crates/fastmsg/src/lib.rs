@@ -23,8 +23,9 @@ pub mod flow;
 pub mod init;
 pub mod packet;
 pub mod proc;
+pub mod rel;
 
-pub use config::FmConfig;
+pub use config::{FmConfig, RelConfig};
 pub use costs::FmCosts;
 pub use division::{BufferPolicy, ContextGeometry, CreditRounding};
 pub use flow::{FlowControl, FlowStats};
@@ -33,3 +34,4 @@ pub use packet::{
     fragment_payload, fragments_for, Packet, PacketKind, HEADER_BYTES, MAX_PAYLOAD, PACKET_BYTES,
 };
 pub use proc::{Extract, FmProcess, ProcStats};
+pub use rel::{GoBackN, RelStats};

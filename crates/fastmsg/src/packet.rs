@@ -50,12 +50,46 @@ pub struct Packet {
     /// Credits returned to the *receiver of this packet* for packets the
     /// sender consumed from them (piggybacked refill, paper §2.2).
     pub piggyback_credits: u32,
+    /// Reliability layer only (zero otherwise): cumulative ack for the
+    /// reverse stream — the next sequence number the sender of this packet
+    /// expects from this packet's receiver. Lets acks ride every data and
+    /// refill packet, go-back-N style.
+    pub ack: u64,
+    /// Reliability layer only (zero otherwise): lifetime total of packets
+    /// the sender of this packet has consumed from this packet's receiver.
+    /// Cumulative credit return — the receiver applies the delta against
+    /// its own tally, so lost or duplicated refills cannot corrupt the
+    /// credit counters the way §2.2 describes.
+    pub credits_total: u64,
 }
 
 impl Packet {
     /// Bytes this packet occupies on the wire.
     pub fn wire_bytes(&self) -> u64 {
         HEADER_BYTES + self.payload as u64
+    }
+
+    /// Reliability layer: a context-free cumulative ack for this data
+    /// packet, sent by a NIC whose destination context was already torn
+    /// down (the job finished and freed its endpoint while late
+    /// retransmissions were still in flight). Carries no credits
+    /// (`credits_total` 0 is ignored by the cumulative-delta rule); its
+    /// only job is to stop the sender's retransmit timer for this stream.
+    pub fn ghost_ack(&self) -> Packet {
+        Packet {
+            job: self.job,
+            src_host: self.dst_host,
+            dst_host: self.src_host,
+            src_rank: self.dst_rank,
+            dst_rank: self.src_rank,
+            seq: 0,
+            payload: 0,
+            last_fragment: false,
+            kind: PacketKind::Refill,
+            piggyback_credits: 0,
+            ack: self.seq + 1,
+            credits_total: 0,
+        }
     }
 }
 
@@ -119,6 +153,8 @@ mod tests {
             last_fragment: true,
             kind: PacketKind::Data,
             piggyback_credits: 0,
+            ack: 0,
+            credits_total: 0,
         };
         assert_eq!(p.wire_bytes(), 88);
     }
@@ -136,6 +172,8 @@ mod tests {
             last_fragment: false,
             kind: PacketKind::Data,
             piggyback_credits: 0,
+            ack: 0,
+            credits_total: 0,
         };
         assert_eq!(p.wire_bytes(), PACKET_BYTES);
     }

@@ -7,6 +7,7 @@
 
 use crate::flow::FlowControl;
 use crate::packet::{fragment_payload, fragments_for, Packet, PacketKind};
+use crate::rel::GoBackN;
 
 /// Library operation counters for one process.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,6 +34,10 @@ pub struct Extract {
     /// `Some((peer_host, credits))` if a dedicated refill message is now
     /// due to `peer_host`.
     pub refill_due: Option<(usize, usize)>,
+    /// False when the reliability layer discarded the packet (sequence
+    /// gap or duplicate) instead of delivering it to the handler. Always
+    /// true without the reliability layer.
+    pub delivered: bool,
 }
 
 /// The FM library instance inside one application process.
@@ -58,6 +63,8 @@ pub struct FmProcess {
     pub allow_loss: bool,
     /// Sequence gaps observed (only when `allow_loss`).
     pub gaps: u64,
+    /// Opt-in go-back-N reliability layer (`None` = the paper's FM).
+    pub rel: Option<GoBackN>,
 }
 
 impl FmProcess {
@@ -77,7 +84,16 @@ impl FmProcess {
             stats: ProcStats::default(),
             allow_loss: false,
             gaps: 0,
+            rel: None,
         }
+    }
+
+    /// Turn on the go-back-N reliability layer for this process. Must be
+    /// called before any traffic flows (the cumulative tallies start at
+    /// zero on both sides).
+    pub fn enable_reliability(&mut self, hosts: usize) {
+        assert_eq!(self.stats.packets_sent + self.stats.packets_received, 0);
+        self.rel = Some(GoBackN::new(self.nprocs(), hosts));
     }
 
     /// Number of processes in the job.
@@ -109,7 +125,11 @@ impl FmProcess {
         if last {
             self.stats.msgs_sent += 1;
         }
-        Packet {
+        let (ack, credits_total) = match &self.rel {
+            Some(rel) => (self.recv_expect[dst_rank], rel.consumed_total(dst_host)),
+            None => (0, 0),
+        };
+        let pkt = Packet {
             job: self.job,
             src_host: self.host,
             dst_host,
@@ -120,7 +140,13 @@ impl FmProcess {
             last_fragment: last,
             kind: PacketKind::Data,
             piggyback_credits: piggyback,
+            ack,
+            credits_total,
+        };
+        if let Some(rel) = self.rel.as_mut() {
+            rel.track(&pkt);
         }
+        pkt
     }
 
     /// Build a dedicated refill packet returning `credits` to the job's
@@ -131,6 +157,10 @@ impl FmProcess {
             .iter()
             .position(|&h| h == peer_host)
             .expect("no rank of this job on peer host");
+        let (ack, credits_total) = match &self.rel {
+            Some(rel) => (self.recv_expect[dst_rank], rel.consumed_total(peer_host)),
+            None => (0, 0),
+        };
         Packet {
             job: self.job,
             src_host: self.host,
@@ -142,6 +172,8 @@ impl FmProcess {
             last_fragment: false,
             kind: PacketKind::Refill,
             piggyback_credits: credits as u32,
+            ack,
+            credits_total,
         }
     }
 
@@ -159,6 +191,9 @@ impl FmProcess {
             "refills are consumed by the NIC layer"
         );
         let expected = self.recv_expect[pkt.src_rank];
+        if self.rel.is_some() {
+            return self.on_extract_reliable(pkt, expected);
+        }
         if self.allow_loss {
             assert!(
                 pkt.seq >= expected,
@@ -195,6 +230,59 @@ impl FmProcess {
         Extract {
             message_complete: pkt.last_fragment,
             refill_due,
+            delivered: true,
+        }
+    }
+
+    /// The go-back-N receive path: deliver in-order packets, discard gaps
+    /// and duplicates undelivered, and answer duplicates with an
+    /// ack-bearing refill (the sender is resending because an ack or the
+    /// final refill got lost).
+    fn on_extract_reliable(&mut self, pkt: &Packet, expected: u64) -> Extract {
+        // Acks and cumulative credits on the packet are valid even when
+        // its payload is stale — apply them unconditionally.
+        self.apply_feedback(pkt);
+        let rel = self.rel.as_mut().expect("reliable path");
+        if pkt.seq > expected {
+            // Gap: an earlier fragment was lost. Go-back-N discards the
+            // out-of-order tail; the sender's timeout resends from
+            // `expected`.
+            rel.stats.discards += 1;
+            return Extract {
+                message_complete: false,
+                refill_due: None,
+                delivered: false,
+            };
+        }
+        if pkt.seq < expected {
+            // Duplicate of something already delivered: the sender has not
+            // seen our ack. Send an ack-bearing refill home (credit value
+            // 0 — the cumulative fields carry the real state).
+            rel.stats.discards += 1;
+            rel.stats.dup_acks += 1;
+            return Extract {
+                message_complete: false,
+                refill_due: Some((pkt.src_host, 0)),
+                delivered: false,
+            };
+        }
+        self.recv_expect[pkt.src_rank] = pkt.seq + 1;
+        rel.note_consumed(pkt.src_host);
+        self.stats.packets_received += 1;
+        self.stats.bytes_received += pkt.payload as u64;
+        if pkt.last_fragment {
+            self.stats.msgs_received += 1;
+        }
+        // The delta counter still decides *when* a dedicated refill goes
+        // out; its value is superseded by the cumulative fields.
+        let refill_due = self
+            .flow
+            .on_packet_consumed(pkt.src_host)
+            .map(|k| (pkt.src_host, k));
+        Extract {
+            message_complete: pkt.last_fragment,
+            refill_due,
+            delivered: true,
         }
     }
 
@@ -202,8 +290,55 @@ impl FmProcess {
     /// without involving the receive queue).
     pub fn on_refill(&mut self, pkt: &Packet) {
         assert_eq!(pkt.kind, PacketKind::Refill);
+        if self.rel.is_some() {
+            // Reliable mode: the cumulative fields carry both the ack and
+            // the credit state; the delta value is ignored.
+            self.apply_feedback(pkt);
+            return;
+        }
         self.flow
             .refill(pkt.src_host, pkt.piggyback_credits as usize);
+    }
+
+    /// Apply the cumulative ack and credit fields a packet carries
+    /// (reliability layer only; no-op otherwise).
+    fn apply_feedback(&mut self, pkt: &Packet) {
+        let Some(rel) = self.rel.as_mut() else {
+            return;
+        };
+        rel.on_ack(pkt.src_rank, pkt.ack);
+        let delta = rel.credit_delta(pkt.src_host, pkt.credits_total);
+        if delta > 0 {
+            self.flow.refill(pkt.src_host, delta);
+        }
+    }
+
+    /// Packets sent but not yet acked (0 without the reliability layer).
+    pub fn rel_unacked(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.unacked())
+    }
+
+    /// Monotone ack-progress mark for the retransmit timer (0 without the
+    /// reliability layer).
+    pub fn rel_acked_total(&self) -> u64 {
+        self.rel.as_ref().map_or(0, |r| r.acked_total())
+    }
+
+    /// Clone up to `max` unacked packets for re-injection, oldest first,
+    /// with their ack/credit fields refreshed to the current cumulative
+    /// state. Counts them as retransmits. Empty without the reliability
+    /// layer or when nothing is unacked.
+    pub fn retransmit_packets(&mut self, max: usize) -> Vec<Packet> {
+        let Some(rel) = self.rel.as_mut() else {
+            return Vec::new();
+        };
+        let mut pkts = rel.window_packets(max);
+        rel.stats.retransmits += pkts.len() as u64;
+        for p in &mut pkts {
+            p.ack = self.recv_expect[p.dst_rank];
+            p.credits_total = rel.consumed_total(p.dst_host);
+        }
+        pkts
     }
 }
 

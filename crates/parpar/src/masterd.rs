@@ -91,6 +91,12 @@ impl Masterd {
         self.epoch
     }
 
+    /// The epoch of the switch currently in flight, if any (the reliability
+    /// layer's watchdog re-arms while this returns `Some`).
+    pub fn pending_switch(&self) -> Option<u64> {
+        self.switch_in_flight.then_some(self.epoch)
+    }
+
     /// Record of a job.
     pub fn job(&self, id: JobId) -> Option<&JobRecord> {
         self.jobs.get(&id)

@@ -36,6 +36,13 @@ pub enum NodedCmd {
         /// The job.
         job: JobId,
     },
+    /// Reliability layer: the masterd's switch watchdog suspects a lost
+    /// halt/ready packet — re-send whatever protocol messages this node
+    /// already emitted for the epoch (idempotent at every receiver).
+    ResendProtocol {
+        /// The switch epoch still in flight.
+        epoch: u64,
+    },
 }
 
 /// Reports the nodeds send back to the masterd.

@@ -11,7 +11,7 @@
 //! cargo run --release --example multiprogram_bandwidth
 //! ```
 
-use cluster::measure::{fig5_cell, fig6_cell};
+use cluster::measure::Measurement;
 use sim_core::report::Table;
 use sim_core::time::Cycles;
 
@@ -28,8 +28,10 @@ fn main() {
         ],
     );
     for n in 1..=8usize {
-        let stat = fig5_cell(n, msg, 200, 7);
-        let full = fig6_cell(n, msg, Cycles::from_ms(100), Cycles::from_ms(300), 7);
+        let stat = Measurement::fig5(n, msg, 200).seed(7).run();
+        let full = Measurement::fig6(n, msg, Cycles::from_ms(100), Cycles::from_ms(300))
+            .seed(7)
+            .run();
         table.row(vec![
             n.into(),
             stat.credits.into(),

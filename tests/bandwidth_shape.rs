@@ -6,7 +6,7 @@
 //! division, communication death at high context counts, and flatness of
 //! total bandwidth in the number of gang-scheduled jobs.
 
-use cluster::measure::{fig5_cell, fig6_cell};
+use cluster::measure::Measurement;
 use sim_core::time::Cycles;
 
 #[test]
@@ -16,7 +16,7 @@ fn fig5_bandwidth_collapses_monotonically_with_contexts() {
         let count = if sz <= 1024 { 800 } else { 150 };
         let mut prev = f64::INFINITY;
         for n in [1usize, 2, 4, 6] {
-            let c = fig5_cell(n, sz, count, 42);
+            let c = Measurement::fig5(n, sz, count).seed(42).run();
             assert!(
                 c.mbps <= prev * 1.02,
                 "bandwidth rose from {prev} to {} at n={n}, size {sz}",
@@ -32,8 +32,8 @@ fn fig5_bandwidth_collapses_monotonically_with_contexts() {
 fn fig5_collapse_is_severe_not_gentle() {
     // Paper: "the bandwidth decreases sharply when increasing the number
     // of contexts". n=6 must lose most of the n=1 bandwidth.
-    let full = fig5_cell(1, 65536, 150, 42);
-    let divided = fig5_cell(6, 65536, 150, 42);
+    let full = Measurement::fig5(1, 65536, 150).seed(42).run();
+    let divided = Measurement::fig5(6, 65536, 150).seed(42).run();
     assert!(
         divided.mbps < full.mbps / 2.5,
         "collapse too gentle: {} vs {}",
@@ -47,7 +47,7 @@ fn fig5_communication_dies_by_seven_contexts() {
     // With the published constants the credit formula floors to zero at
     // n = 7 (the paper reports the cutoff at 8; see EXPERIMENTS.md).
     for n in [7usize, 8] {
-        let c = fig5_cell(n, 4096, 20, 42);
+        let c = Measurement::fig5(n, 4096, 20).seed(42).run();
         assert_eq!(c.credits, 0, "n={n}");
         assert!(!c.completed);
         assert_eq!(c.mbps, 0.0);
@@ -59,8 +59,8 @@ fn fig5_small_messages_waste_credits() {
     // "For small message sizes, a full credit is used even if only part of
     // each packet is used": 64 B messages get a small fraction of the
     // 64 KB bandwidth.
-    let small = fig5_cell(1, 64, 2000, 42);
-    let large = fig5_cell(1, 65536, 150, 42);
+    let small = Measurement::fig5(1, 64, 2000).seed(42).run();
+    let large = Measurement::fig5(1, 65536, 150).seed(42).run();
     assert!(
         small.mbps * 3.0 < large.mbps,
         "{} vs {}",
@@ -75,9 +75,9 @@ fn fig6_total_bandwidth_flat_in_job_count() {
     // independent of the number of applications running in the system".
     let quantum = Cycles::from_ms(100);
     let dur = Cycles::from_ms(400);
-    let one = fig6_cell(1, 24576, quantum, dur, 42);
+    let one = Measurement::fig6(1, 24576, quantum, dur).seed(42).run();
     for k in [2usize, 4, 6] {
-        let cell = fig6_cell(k, 24576, quantum, dur, 42);
+        let cell = Measurement::fig6(k, 24576, quantum, dur).seed(42).run();
         let ratio = cell.total_mbps / one.total_mbps;
         assert!(
             (0.9..=1.1).contains(&ratio),
@@ -91,7 +91,9 @@ fn fig6_total_bandwidth_flat_in_job_count() {
 
 #[test]
 fn fig6_jobs_share_fairly() {
-    let cell = fig6_cell(4, 24576, Cycles::from_ms(100), Cycles::from_ms(800), 42);
+    let cell = Measurement::fig6(4, 24576, Cycles::from_ms(100), Cycles::from_ms(800))
+        .seed(42)
+        .run();
     let mean: f64 = cell.per_job_mbps.iter().sum::<f64>() / 4.0;
     for (i, &bw) in cell.per_job_mbps.iter().enumerate() {
         assert!(
@@ -105,8 +107,11 @@ fn fig6_jobs_share_fairly() {
 fn fig6_full_buffer_credits_beat_static_division_by_n_squared() {
     // The credit arithmetic behind the whole paper (§3.3).
     let k = 6usize;
-    let static_c = fig5_cell(k, 1024, 10, 1).credits;
-    let full_c = fig6_cell(1, 1024, Cycles::from_ms(50), Cycles::from_ms(50), 1).credits;
+    let static_c = Measurement::fig5(k, 1024, 10).seed(1).run().credits;
+    let full_c = Measurement::fig6(1, 1024, Cycles::from_ms(50), Cycles::from_ms(50))
+        .seed(1)
+        .run()
+        .credits;
     assert_eq!(full_c, 41);
     assert!(full_c >= static_c * k * k, "{full_c} vs {static_c}");
 }
@@ -115,9 +120,11 @@ fn fig6_full_buffer_credits_beat_static_division_by_n_squared() {
 fn gang_scheme_sustains_bandwidth_where_static_division_dies() {
     // The cross-scheme comparison at the paper's breaking point: 7+
     // time-sliced applications.
-    let dead = fig5_cell(7, 24576, 50, 42);
+    let dead = Measurement::fig5(7, 24576, 50).seed(42).run();
     assert_eq!(dead.mbps, 0.0);
-    let alive = fig6_cell(7, 24576, Cycles::from_ms(100), Cycles::from_ms(400), 42);
+    let alive = Measurement::fig6(7, 24576, Cycles::from_ms(100), Cycles::from_ms(400))
+        .seed(42)
+        .run();
     assert!(
         alive.total_mbps > 50.0,
         "buffer switching should sustain full bandwidth, got {}",

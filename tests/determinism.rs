@@ -1,10 +1,7 @@
 //! The simulation is deterministic: identical configuration and seed give
 //! bit-identical runs; the figures are exactly reproducible.
 
-use cluster::measure::{
-    fig5_cell, fig5_cell_batch, fig6_cell, fig6_cell_batch, switch_overhead_run,
-    switch_overhead_run_batch,
-};
+use cluster::measure::{switch_overhead_run, Measurement};
 use cluster::{ClusterConfig, Sim};
 use fastmsg::division::BufferPolicy;
 use gang_comm::strategy::SwitchStrategy;
@@ -96,12 +93,16 @@ fn event_stream_digest_matches_pre_refactor_golden() {
 
 #[test]
 fn fig_cells_are_reproducible() {
-    let a = fig5_cell(3, 4096, 100, 5);
-    let b = fig5_cell(3, 4096, 100, 5);
+    let a = Measurement::fig5(3, 4096, 100).seed(5).run();
+    let b = Measurement::fig5(3, 4096, 100).seed(5).run();
     assert_eq!(a.mbps.to_bits(), b.mbps.to_bits());
 
-    let a = fig6_cell(2, 1536, Cycles::from_ms(50), Cycles::from_ms(100), 5);
-    let b = fig6_cell(2, 1536, Cycles::from_ms(50), Cycles::from_ms(100), 5);
+    let a = Measurement::fig6(2, 1536, Cycles::from_ms(50), Cycles::from_ms(100))
+        .seed(5)
+        .run();
+    let b = Measurement::fig6(2, 1536, Cycles::from_ms(50), Cycles::from_ms(100))
+        .seed(5)
+        .run();
     assert_eq!(a.total_mbps.to_bits(), b.total_mbps.to_bits());
 
     let a = switch_overhead_run(4, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 3, 5);
@@ -123,8 +124,11 @@ fn batched_fig_cells_match_unbatched_bit_for_bit() {
         // Fig. 5 cells: one context (bursts engage) and three contexts
         // (credit pressure, bursts engage rarely) at a multi-fragment size.
         for contexts in [1, 3] {
-            let off = fig5_cell(contexts, 65_536, 40, seed);
-            let on = fig5_cell_batch(contexts, 65_536, 40, seed, 16);
+            let off = Measurement::fig5(contexts, 65_536, 40).seed(seed).run();
+            let on = Measurement::fig5(contexts, 65_536, 40)
+                .seed(seed)
+                .batch(16)
+                .run();
             assert_eq!(off.mbps.to_bits(), on.mbps.to_bits(), "seed {seed}");
             assert_eq!(off.completed, on.completed, "seed {seed}");
             assert_eq!(off.credits, on.credits, "seed {seed}");
@@ -133,8 +137,8 @@ fn batched_fig_cells_match_unbatched_bit_for_bit() {
         // Fig. 6 cell: time-sliced jobs under buffer switching.
         let q = Cycles::from_ms(50);
         let w = Cycles::from_ms(100);
-        let off = fig6_cell(2, 1536, q, w, seed);
-        let on = fig6_cell_batch(2, 1536, q, w, seed, 16);
+        let off = Measurement::fig6(2, 1536, q, w).seed(seed).run();
+        let on = Measurement::fig6(2, 1536, q, w).seed(seed).batch(16).run();
         assert_eq!(off.total_mbps.to_bits(), on.total_mbps.to_bits());
         assert_eq!(off.per_job_mbps.len(), on.per_job_mbps.len());
         for (a, b) in off.per_job_mbps.iter().zip(&on.per_job_mbps) {
@@ -150,14 +154,11 @@ fn batched_fig_cells_match_unbatched_bit_for_bit() {
             3,
             seed,
         );
-        let on = switch_overhead_run_batch(
-            4,
-            CopyStrategy::ValidOnly,
-            SwitchStrategy::GangFlush,
-            3,
-            seed,
-            16,
-        );
+        let on =
+            Measurement::switch_overhead(4, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 3)
+                .seed(seed)
+                .batch(16)
+                .run();
         assert_eq!(
             off.ledger.mean_total().to_bits(),
             on.ledger.mean_total().to_bits(),

@@ -77,6 +77,51 @@ fn switch_phases_enforce_ordering() {
 }
 
 #[test]
+fn context_switch_validates_claimed_jobs_in_both_slots() {
+    // Two real jobs pinned to the same nodes land in slots 0 and 1; walk
+    // node 0's sequencer to the copy phase and drive COMM_context_switch
+    // with explicit from/to claims, both wrong and right.
+    let mut s = sim(2);
+    // Long enough that neither job finishes (and unloads) before the
+    // probe point: with auto-rotation off only slot 0 ever runs.
+    let bench = P2pBandwidth::with_count(1024, 100_000);
+    let j1 = s.submit(&bench, Some(vec![0, 1])).unwrap();
+    let j2 = s.submit(&bench, Some(vec![0, 1])).unwrap();
+    let now = SimTime::ZERO + Cycles::from_ms(10);
+    s.run_until(now);
+    s.engine.drive(|w, sched| {
+        assert_eq!(w.nodes[0].noded.in_slot(0).map(|(j, _)| j), Some(j1));
+        assert_eq!(w.nodes[0].noded.in_slot(1).map(|(j, _)| j), Some(j2));
+        // Reach Copying by hand: one peer halt plus the local halt
+        // completes the flush on a 2-node cluster.
+        let seq = &mut w.nodes[0].seq;
+        seq.start(now, 1, 0, 1);
+        seq.on_halt_msg(1, 1);
+        assert!(seq.on_local_halt());
+        seq.flush_complete(now);
+
+        let mut glue = GlueFm::new(w, sched, 0);
+        // Claims are validated against the actual slot occupants: swapped
+        // jobs, a bogus outgoing claim, and a bogus incoming claim are all
+        // rejected without side effects.
+        for (from, to) in [
+            (Some(j2.0), Some(j1.0)),
+            (Some(99), Some(j2.0)),
+            (Some(j1.0), Some(99)),
+        ] {
+            assert_eq!(
+                glue.context_switch(now, from, to),
+                Err(CommError::UnknownJob)
+            );
+        }
+        // Correct claims for both slots are accepted; partial and blind
+        // forms of the same call would be too, but the double-claimed one
+        // is the paper's Table-1 signature exercised end to end.
+        glue.context_switch(now, Some(j1.0), Some(j2.0)).unwrap();
+    });
+}
+
+#[test]
 fn add_remove_node_membership() {
     let mut s = sim(4);
     s.engine.drive(|w, sched| {
