@@ -6,15 +6,24 @@
 //! logical-event count (printed once at startup) by it gives events per
 //! second, so the two bars are directly comparable. The fast path's ISSUE
 //! target is ≥3× here.
+//!
+//! A second group sweeps the windowed parallel engine over a 64-node,
+//! 32-disjoint-pair scenario at thread counts 1/2/4/8 — the speedup curve
+//! vs threads. All thread counts produce a bit-identical event stream
+//! (asserted at startup); only wall time varies, and only on hosts with
+//! cores to spare (`sim_core::pool::max_parallelism` bounds the shard
+//! pool, and a drained budget degrades to inline shards).
 
 use cluster::{ClusterConfig, Sim};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastmsg::division::BufferPolicy;
 use sim_core::time::{Cycles, SimTime};
 use std::hint::black_box;
+use workloads::p2p::P2pBandwidth;
 use workloads::ring::Ring;
 
 const LAPS: u64 = 4;
+const PAIR_MSGS: u64 = 120;
 
 fn run_ring(batch: usize) -> u64 {
     let mut cfg = ClusterConfig::parpar(4, 1, BufferPolicy::StaticDivision);
@@ -54,5 +63,46 @@ fn bench_ring_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ring_throughput);
+fn run_pairs64(threads: usize) -> (u64, u64) {
+    let mut cfg = ClusterConfig::parpar(64, 1, BufferPolicy::StaticDivision);
+    cfg.auto_rotate = false;
+    cfg.seed = 42;
+    cfg.threads = threads;
+    let mut sim = Sim::new(cfg);
+    let bench = P2pBandwidth::with_count(65_536, PAIR_MSGS);
+    for pair in 0..32 {
+        sim.submit(&bench, Some(vec![2 * pair, 2 * pair + 1]))
+            .unwrap();
+    }
+    assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(600)));
+    (sim.engine.logical_events(), sim.engine.stream_digest())
+}
+
+fn bench_pairs64_threads(c: &mut Criterion) {
+    let seq = run_pairs64(1);
+    println!(
+        "engine_throughput_pairs64: {} logical events per run",
+        seq.0
+    );
+
+    let mut g = c.benchmark_group("engine_throughput_pairs64");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        if threads > 1 {
+            assert_eq!(
+                run_pairs64(threads),
+                seq,
+                "threads={threads} must reproduce the sequential stream"
+            );
+        }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads_{threads}")),
+            &threads,
+            |b, &threads| b.iter(|| black_box(run_pairs64(threads))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring_throughput, bench_pairs64_threads);
 criterion_main!(benches);

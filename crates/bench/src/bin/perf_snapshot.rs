@@ -1,0 +1,274 @@
+//! Engine performance snapshot: wall-clock throughput of the discrete-event
+//! core on the micro-benchmark scenarios, written to `BENCH_engine.json`.
+//!
+//! Two scenarios:
+//!
+//! * `ring_1mib` — the `engine_throughput` criterion scenario: 4 nodes,
+//!   one ring job pushing 1 MiB messages for 4 laps. Bidirectional traffic
+//!   on shared links, so it never shards; it measures the sequential core
+//!   and the burst fast path.
+//! * `pairs64` — 64 nodes, 32 disjoint point-to-point pairs, static
+//!   division, no rotation. Link-disjoint jobs, so the windowed parallel
+//!   engine shards it; it measures the multi-shard path.
+//!
+//! Each scenario runs at `--batch off` and `--batch 16`, at every thread
+//! count in the sweep (`1 2 4 8` by default; just `N` when `--threads N`
+//! is given — the form CI uses to compare two thread counts). Every row
+//! carries the event-stream digest, which must be bit-identical across
+//! thread counts and is printed as stable `DIGEST` lines for CI to diff.
+//! Batched rows always run on the sequential engine (`windows` = 0): the
+//! windowed driver declares `batch > 0` ineligible so the physical stream
+//! digest never depends on the sharding.
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin perf_snapshot \
+//!     [--threads N] [--seed N] [--out FILE] [--quick]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cluster::{ClusterConfig, Sim};
+use fastmsg::division::BufferPolicy;
+use sim_core::time::{Cycles, SimTime};
+use workloads::p2p::P2pBandwidth;
+use workloads::ring::Ring;
+
+/// One measured run.
+struct Row {
+    scenario: &'static str,
+    threads: usize,
+    batch: usize,
+    wall_ms: f64,
+    logical_events: u64,
+    events_per_sec: f64,
+    digest: u64,
+    windows: u64,
+}
+
+/// Everything a run returns besides wall time.
+struct Outcome {
+    logical_events: u64,
+    digest: u64,
+    windows: u64,
+}
+
+fn run_ring(threads: usize, batch: usize, seed: u64, laps: u64) -> Outcome {
+    let mut cfg = ClusterConfig::parpar(4, 1, BufferPolicy::StaticDivision);
+    cfg.auto_rotate = false;
+    cfg.seed = seed;
+    cfg.batch = batch;
+    cfg.threads = threads;
+    let mut sim = Sim::new(cfg);
+    let ring = Ring {
+        nprocs: 4,
+        msg_bytes: 1 << 20,
+        laps,
+    };
+    sim.submit(&ring, Some(vec![0, 1, 2, 3])).unwrap();
+    assert!(
+        sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(600)),
+        "ring did not finish"
+    );
+    Outcome {
+        logical_events: sim.engine.logical_events(),
+        digest: sim.engine.stream_digest(),
+        windows: sim.parallel_windows(),
+    }
+}
+
+fn run_pairs64(threads: usize, batch: usize, seed: u64, count: u64) -> Outcome {
+    let mut cfg = ClusterConfig::parpar(64, 1, BufferPolicy::StaticDivision);
+    cfg.auto_rotate = false;
+    cfg.seed = seed;
+    cfg.batch = batch;
+    cfg.threads = threads;
+    let mut sim = Sim::new(cfg);
+    let bench = P2pBandwidth::with_count(65_536, count);
+    for pair in 0..32 {
+        sim.submit(&bench, Some(vec![2 * pair, 2 * pair + 1]))
+            .unwrap();
+    }
+    assert!(
+        sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(600)),
+        "pairs did not finish"
+    );
+    Outcome {
+        logical_events: sim.engine.logical_events(),
+        digest: sim.engine.stream_digest(),
+        windows: sim.parallel_windows(),
+    }
+}
+
+/// Median-of-three wall time (single run with `--quick`).
+fn measure(quick: bool, f: impl Fn() -> Outcome) -> (f64, Outcome) {
+    let reps = if quick { 1 } else { 3 };
+    let mut times = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let o = f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(o);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("wall time is finite"));
+    (times[times.len() / 2], out.expect("at least one rep"))
+}
+
+fn json(rows: &[Row], seed: u64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"engine_throughput\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(
+        s,
+        "  \"host_cores\": {},",
+        sim_core::pool::max_parallelism()
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"scenario\": \"{}\", \"threads\": {}, \"batch\": {}, \
+             \"wall_ms\": {:.3}, \"logical_events\": {}, \
+             \"events_per_sec\": {:.0}, \"digest\": \"{:#018x}\", \
+             \"windows\": {}}}",
+            r.scenario,
+            r.threads,
+            r.batch,
+            r.wall_ms,
+            r.logical_events,
+            r.events_per_sec,
+            r.digest,
+            r.windows,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut threads_sweep: Vec<usize> = vec![1, 2, 4, 8];
+    let mut seed = 42u64;
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let take = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        if let Some(rest) = a.strip_prefix("--threads") {
+            let v = match rest.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None if rest.is_empty() => take(&mut args, "--threads"),
+                _ => panic!("unknown flag {a}"),
+            };
+            let n: usize = v.parse().expect("--threads takes an integer");
+            assert!(n >= 1, "--threads must be at least 1");
+            threads_sweep = vec![n];
+        } else if let Some(rest) = a.strip_prefix("--seed") {
+            let v = match rest.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None if rest.is_empty() => take(&mut args, "--seed"),
+                _ => panic!("unknown flag {a}"),
+            };
+            seed = v.parse().expect("seed must be an integer");
+        } else if let Some(rest) = a.strip_prefix("--out") {
+            out_path = match rest.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None if rest.is_empty() => take(&mut args, "--out"),
+                _ => panic!("unknown flag {a}"),
+            };
+        } else if a == "--quick" {
+            quick = true;
+        } else if a == "--help" || a == "-h" {
+            eprintln!("flags: --threads N --seed N --out FILE --quick");
+            std::process::exit(0);
+        } else {
+            panic!("unknown flag {a}");
+        }
+    }
+
+    let (ring_laps, pairs_count) = if quick { (1, 60) } else { (4, 400) };
+    let mut rows = Vec::new();
+    for &threads in &threads_sweep {
+        for batch in [0usize, 16] {
+            let (wall_ms, o) = measure(quick, || run_ring(threads, batch, seed, ring_laps));
+            rows.push(Row {
+                scenario: "ring_1mib",
+                threads,
+                batch,
+                wall_ms,
+                logical_events: o.logical_events,
+                events_per_sec: o.logical_events as f64 / (wall_ms / 1e3),
+                digest: o.digest,
+                windows: o.windows,
+            });
+            let (wall_ms, o) = measure(quick, || run_pairs64(threads, batch, seed, pairs_count));
+            rows.push(Row {
+                scenario: "pairs64",
+                threads,
+                batch,
+                wall_ms,
+                logical_events: o.logical_events,
+                events_per_sec: o.logical_events as f64 / (wall_ms / 1e3),
+                digest: o.digest,
+                windows: o.windows,
+            });
+        }
+    }
+
+    println!(
+        "{:<10} {:>7} {:>5} {:>10} {:>12} {:>12} {:>8}  digest",
+        "scenario", "threads", "batch", "wall ms", "events", "events/s", "windows"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} {:>5} {:>10.1} {:>12} {:>12.0} {:>8}  {:#018x}",
+            r.scenario,
+            r.threads,
+            r.batch,
+            r.wall_ms,
+            r.logical_events,
+            r.events_per_sec,
+            r.windows,
+            r.digest
+        );
+    }
+    // Determinism lines for CI: identical across thread counts by
+    // construction, so two runs at different --threads must print the
+    // same set (compare with `grep ^DIGEST | sort -u`).
+    for r in &rows {
+        println!(
+            "DIGEST scenario={} batch={} events={} digest={:#018x}",
+            r.scenario, r.batch, r.logical_events, r.digest
+        );
+    }
+    for &batch in &[0usize, 16] {
+        let base = rows
+            .iter()
+            .find(|r| r.scenario == "pairs64" && r.threads == 1 && r.batch == batch);
+        let best = rows
+            .iter()
+            .filter(|r| r.scenario == "pairs64" && r.batch == batch)
+            .max_by_key(|r| r.threads);
+        if let (Some(b), Some(t)) = (base, best) {
+            if t.threads > 1 {
+                println!(
+                    "SPEEDUP pairs64 batch={} threads={}x over 1: {:.2}x \
+                     (host has {} cores)",
+                    batch,
+                    t.threads,
+                    b.wall_ms / t.wall_ms,
+                    sim_core::pool::max_parallelism()
+                );
+            }
+        }
+    }
+
+    let body = json(&rows, seed);
+    std::fs::write(&out_path, &body).expect("write snapshot json");
+    eprintln!("wrote {out_path}");
+}

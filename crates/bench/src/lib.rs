@@ -30,6 +30,10 @@ pub struct HarnessOpts {
     /// Fragment-burst coalescing limit: 0 = off (packet-at-a-time),
     /// `k` = coalesce up to `k` fragments per engine event.
     pub batch: usize,
+    /// Worker threads for the windowed parallel engine (1 = sequential).
+    /// Results are bit-identical at any value; ineligible configurations
+    /// fall back to the sequential engine.
+    pub threads: usize,
 }
 
 impl HarnessOpts {
@@ -45,6 +49,7 @@ impl HarnessOpts {
             csv: None,
             seed: 42,
             batch: 0,
+            threads: 1,
         };
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
@@ -61,11 +66,11 @@ impl HarnessOpts {
                         .expect("seed must be an integer");
                 }
                 "--help" | "-h" => {
-                    eprintln!("flags: --full --csv DIR --seed N --batch off|K");
+                    eprintln!("flags: --full --csv DIR --seed N --batch off|K --threads N");
                     std::process::exit(0);
                 }
-                other => match other.strip_prefix("--batch") {
-                    Some(rest) => {
+                other => {
+                    if let Some(rest) = other.strip_prefix("--batch") {
                         let v = match rest.strip_prefix('=') {
                             Some(v) => v.to_string(),
                             None if rest.is_empty() => {
@@ -77,9 +82,20 @@ impl HarnessOpts {
                             "off" => 0,
                             k => k.parse().expect("--batch takes off or an integer"),
                         };
+                    } else if let Some(rest) = other.strip_prefix("--threads") {
+                        let v = match rest.strip_prefix('=') {
+                            Some(v) => v.to_string(),
+                            None if rest.is_empty() => {
+                                args.next().expect("--threads needs a worker count")
+                            }
+                            _ => panic!("unknown flag {other}"),
+                        };
+                        opts.threads = v.parse().expect("--threads takes an integer");
+                        assert!(opts.threads >= 1, "--threads must be at least 1");
+                    } else {
+                        panic!("unknown flag {other}");
                     }
-                    None => panic!("unknown flag {other}"),
-                },
+                }
             }
         }
         opts
@@ -97,25 +113,28 @@ impl HarnessOpts {
     }
 }
 
-/// Worker count used by [`par_sweep`]: one per available core.
+/// Ceiling on [`par_sweep`] workers: the machine-wide limit from
+/// `sim_core::pool` — the same source the windowed parallel engine sizes
+/// its shard pool from, so nested parallelism (a sweep of sharded runs)
+/// cannot oversubscribe the machine.
 pub fn sweep_pool_size() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    sim_core::pool::max_parallelism()
 }
 
-/// Run `f` over `params` on a bounded worker pool ([`sweep_pool_size`]
-/// threads; the simulations are independent and deterministic), preserving
-/// parameter order in the results. Workers pull the next parameter from a
-/// shared counter, so at most `pool_size` cells run at once no matter how
-/// large the sweep is.
+/// Run `f` over `params` on a bounded worker pool, preserving parameter
+/// order in the results. Workers pull the next parameter from a shared
+/// counter, so at most the pool size runs at once no matter how large the
+/// sweep is. The pool is leased from the global `sim_core::pool::Budget`:
+/// slots a sweep holds are slots the in-simulation shard pools cannot
+/// also take (they degrade to fewer workers), and vice versa.
 pub fn par_sweep<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
 where
     P: Send + Sync,
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
-    let workers = sweep_pool_size().min(params.len().max(1));
+    let grant = sim_core::pool::Budget::acquire(params.len().max(1));
+    let workers = grant.count().min(params.len().max(1));
     let next = AtomicUsize::new(0);
     let mut batches: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
@@ -212,6 +231,16 @@ mod tests {
         let o = parse(&["--full", "--batch=4", "--seed", "9"]);
         assert!(o.full);
         assert_eq!((o.batch, o.seed), (4, 9));
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        let parse = |args: &[&str]| HarnessOpts::parse(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]).threads, 1);
+        assert_eq!(parse(&["--threads=8"]).threads, 8);
+        assert_eq!(parse(&["--threads", "4"]).threads, 4);
+        let o = parse(&["--threads=2", "--batch=16"]);
+        assert_eq!((o.threads, o.batch), (2, 16));
     }
 
     #[test]

@@ -32,7 +32,17 @@
 //!   (or survives the burst as a real `FrameArrive`);
 //! - no fused fragment is a message's last and the sender's credit window
 //!   never empties, so no message completion or block transition is
-//!   skipped.
+//!   skipped;
+//! - under the go-back-N reliability layer the piggybacked cumulative
+//!   ack/credit fields ride along for free: they are built and applied
+//!   inside the shared `make_fragment`/`on_extract`/`on_refill`
+//!   primitives, and the armed `RetransTimeout` is a foreign queued event
+//!   that bounds the run-ahead window, so the timer neither fires nor
+//!   needs re-arming inside a burst;
+//! - a receiver whose send path is busy (streaming its own traffic in
+//!   multi-context steady state) can still absorb a fused train — only a
+//!   credit-refill crossing, whose reply would have to queue behind that
+//!   foreign traffic, fences the burst there.
 //!
 //! Anything the checks cannot prove falls back to the generic path —
 //! `try_burst` returns `false` having mutated nothing.
@@ -70,9 +80,14 @@ impl World {
             return false;
         };
         // Configurations with per-packet side effects the fused loop does
-        // not model take the generic path.
+        // not model take the generic path. The go-back-N reliability layer
+        // is NOT one of them: its per-packet work — sequence tracking and
+        // the cumulative ack/credit fields — lives inside `make_fragment`,
+        // `on_extract`, and `on_refill`, the very primitives the burst
+        // commits with, and the pending `RetransTimeout` is a foreign
+        // queued event that already bounds `limit`, so the timer can never
+        // fire (nor need re-arming) inside a window.
         if self.cfg.wire_loss_ppm > 0
-            || self.cfg.reliability.enabled
             || self.cfg.strategy.uses_acks()
             || (self.cfg.dynamic_coscheduling && !self.cfg.gang_scheduling)
             || self.vn_active()
@@ -101,6 +116,11 @@ impl World {
             {
                 return false;
             }
+            // Reliability: complete_send_fragment armed the retransmit
+            // timer before trying the burst, and it stays armed for the
+            // whole window (the timeout is a foreign event beyond `limit`),
+            // so every elided re-arm is a no-op.
+            debug_assert!(!self.cfg.reliability.enabled || sproc.rel_timer_armed);
             let dst = sproc.fm.host_of(sp.dst_rank);
             if dst == node {
                 return false;
@@ -143,16 +163,9 @@ impl World {
         let Some(rpid) = self.find_proc_by_job(dst, job) else {
             return false;
         };
-        let rctx_id = {
+        let (rctx_id, r_send_idle) = {
             let r = &self.nodes[dst];
-            // A fused refill needs the receiver's send path idle, and the
-            // elided SendEngineDone it skips scans the receiver's apps the
-            // same way the sender-side one does.
-            if r.nic.halt_bit()
-                || !r.in_service
-                || r.send_engine_busy
-                || r.nic.send_q_occupancy() != 0
-            {
+            if r.nic.halt_bit() || !r.in_service {
                 return false;
             }
             let Some(rctx_id) = r.nic.find_context(job) else {
@@ -160,14 +173,6 @@ impl World {
             };
             if !r.nic.context(rctx_id).unwrap().recv_q.is_empty() {
                 return false;
-            }
-            for p in r.apps.values() {
-                if p.blocked == Some(BlockReason::SendSpace)
-                    || p.phase == ProcPhase::Finished
-                    || !p.pending_refills.is_empty()
-                {
-                    return false;
-                }
             }
             let rproc = &r.apps[&rpid];
             if rproc.busy
@@ -178,7 +183,25 @@ impl World {
             {
                 return false;
             }
-            rctx_id
+            // A fused refill commits through the receiver's send engine
+            // immediately, and the SendEngineDone it elides scans the
+            // receiver's apps the same way the sender-side one does — so
+            // refill fusion needs the whole send path provably idle. A
+            // busy send path (the receiver streaming its own traffic, or
+            // another resident context's packets queued) no longer
+            // disqualifies the burst: it only fences it at the next
+            // credit-refill crossing. Nothing in the window flips these
+            // predicates — the receiver's own send events are foreign and
+            // bound `limit`, and fused extracts never complete a message,
+            // so the receiver stays RecvWait-blocked throughout.
+            let r_send_idle = !r.send_engine_busy
+                && r.nic.send_q_occupancy() == 0
+                && r.apps.values().all(|p| {
+                    p.blocked != Some(BlockReason::SendSpace)
+                        && p.phase != ProcPhase::Finished
+                        && p.pending_refills.is_empty()
+                });
+            (rctx_id, r_send_idle)
         };
 
         // Most fragments this burst may fuse: the batch knob and the
@@ -247,8 +270,11 @@ impl World {
                     let land_real = s.nic.reserve_engine(arr_r, w_r);
                     debug_assert_eq!(land_real, land_end);
                     s.nic.stats.data_received += 1;
-                    credits_avail += pkt_r.piggyback_credits as usize;
                     s.apps.get_mut(&pid).unwrap().fm.on_refill(&pkt_r);
+                    // Re-read the authoritative window: a plain refill
+                    // restores its delta credits, a reliable-mode refill
+                    // restores whatever its cumulative fields unlock.
+                    credits_avail = s.apps[&pid].fm.flow.credits(dst);
                     refill_elided += 2; // FrameArrive + RecvEngineDone
                 }
             }
@@ -293,8 +319,11 @@ impl World {
             let will_refill = r.apps[&rpid].fm.flow.packets_until_refill(node) == 0;
             let mut refill_cand = None;
             if will_refill {
-                if pending_refill.is_some() {
-                    // At most one fused refill in flight at a time.
+                if pending_refill.is_some() || !r_send_idle {
+                    // At most one fused refill in flight at a time, and a
+                    // busy receiver send path means the refill would queue
+                    // behind foreign traffic — the crossing fragment goes
+                    // to the generic path.
                     break;
                 }
                 let refill_wire = HEADER_BYTES; // zero-payload wire size
@@ -355,6 +384,7 @@ impl World {
                 debug_assert_eq!(res.end, x_end);
                 let ex = r.apps.get_mut(&rpid).unwrap().fm.on_extract(&pkt);
                 debug_assert!(!ex.message_complete, "burst fused a last fragment");
+                debug_assert!(ex.delivered, "fresh in-order fragment discarded");
                 meter.record(x_end, pkt.payload as u64);
                 ex
             };

@@ -51,6 +51,7 @@ pub struct Measurement<K> {
     kind: K,
     seed: u64,
     batch: usize,
+    threads: usize,
     wire_loss_ppm: u32,
     reliability: bool,
 }
@@ -61,6 +62,7 @@ impl<K> Measurement<K> {
             kind,
             seed: 0,
             batch: 0,
+            threads: 1,
             wire_loss_ppm: 0,
             reliability: false,
         }
@@ -77,6 +79,18 @@ impl<K> Measurement<K> {
     /// unbatched run — `tests/determinism.rs` asserts it.
     pub fn batch(mut self, batch: usize) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Worker threads for the conservative time-window parallel engine
+    /// (default 1 — fully sequential). Any value produces bit-identical
+    /// results: the simulation is deterministic by construction, and
+    /// `tests/determinism.rs` pins the event-stream digest at 1, 2, and 8
+    /// threads. Configurations the windowed driver cannot prove sound
+    /// (reliability, wire loss, dynamic coscheduling, …) silently fall
+    /// back to the sequential engine.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -97,6 +111,7 @@ impl<K> Measurement<K> {
     fn apply_common(&self, cfg: &mut ClusterConfig) {
         cfg.seed = self.seed;
         cfg.batch = self.batch;
+        cfg.threads = self.threads;
         cfg.wire_loss_ppm = self.wire_loss_ppm;
         cfg.reliability.enabled = self.reliability;
     }

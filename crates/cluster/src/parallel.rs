@@ -1,0 +1,528 @@
+//! Conservative time-window parallel execution of the cluster world.
+//!
+//! The sequential engine delivers one event at a time in global
+//! `(time, seq)` order. This driver proves, before touching anything, that
+//! a whole span of simulated time can be executed shard-by-shard with no
+//! cross-shard interaction — then runs the shards on a worker pool and
+//! replays the merged dispatch order against the engine, so every digest,
+//! stat, and sequence number is bit-identical to the sequential run at any
+//! thread count (see `sim_core::parallel` for the merge argument).
+//!
+//! ## Shards
+//!
+//! A shard is a *job-connectivity component*: the union-find closure of
+//! "hosts one rank of the same unfinished job", further merged until the
+//! components' intra-group route link sets are disjoint (a dual-switch
+//! trunk collapses cross-switch components into one). Data packets only
+//! ever travel between ranks of one job, so two components never share a
+//! wire, a NIC, a CPU, or a process — the per-link `Network` state each
+//! shard absorbs and returns is all the network state it can touch.
+//!
+//! ## The window fence
+//!
+//! Everything that is *not* data-plane work — daemon commands, control
+//! messages, buffer switches, job lifecycle — serializes the world and
+//! must run sequentially. The only way a purely data-plane event cascade
+//! can *create* control traffic is a process finishing (`Op::Done` sends
+//! `JobFinished` to the master). [`workloads::program::Program::ops_remaining`]
+//! bounds that from below: a process with `k` countable host-CPU
+//! operations left cannot finish before `t_head + (k-1)·δ`, where `δ` is
+//! the cheapest such operation (one header-packet injection or one packet
+//! extraction) — the operations serialize on the process's host CPU and at
+//! most one completes per event. The window fence is therefore
+//! `min(t_head + (min_hint - 1)·δ, horizon + 1)`, shrunk further to the
+//! key of the first non-data event found in the queue. Shard shells carry
+//! a poisoned [`parpar::control::ControlNet`], so a violated bound panics
+//! instead of silently diverging.
+//!
+//! ## Eligibility
+//!
+//! Configurations whose data plane is not provably shard-local fall back
+//! to the sequential loop: uncoordinated or dynamically coscheduled
+//! runs (local timers fire everywhere), non-flush switch strategies
+//! (acks/drops mutate global stats mid-flight), wire loss and the
+//! reliability layer (shared RNG and retransmission timers), endpoint
+//! caching (cross-job NIC slot contention), and tracing (one global ring).
+
+use std::collections::BTreeMap;
+
+use fastmsg::division::BufferPolicy;
+use fastmsg::packet::HEADER_BYTES;
+use gang_comm::strategy::SwitchStrategy;
+use myrinet::topology::LinkId;
+use parpar::job::{JobId, JobState};
+use sim_core::engine::RunOutcome;
+use sim_core::parallel::{drain_window, merge_window, restore_window, run_shard, ShardOutput};
+use sim_core::pool::{scatter, WorkerPool};
+use sim_core::time::SimTime;
+
+use crate::event::{AppEvent, Event, Frame, NicEvent};
+use crate::procsim::ProcPhase;
+use crate::world::{Sim, World};
+
+/// Persistent driver state: the worker pool and the reusable shard shells
+/// (hollow worlds that real node state is swapped into for one window).
+pub(crate) struct ParDriver {
+    pool: Option<WorkerPool>,
+    shells: Vec<World>,
+    /// Windows actually executed (diagnostics: proves the parallel path
+    /// engaged rather than falling back to sequential stepping).
+    pub(crate) windows: u64,
+    /// Sequential steps to take before attempting another window. Set
+    /// after a window turns out tiny (or collapses to one shard): the
+    /// partition/drain/swap tax is only worth paying when windows carry
+    /// enough events, and a workload in a phase of tiny windows will stay
+    /// in it for a while.
+    cooldown: u32,
+}
+
+/// A window carrying fewer drained events than this sets [`ParDriver::cooldown`].
+const MIN_WINDOW_EVENTS: usize = 32;
+/// How many sequential steps a cooldown lasts.
+const COOLDOWN_STEPS: u32 = 256;
+
+impl ParDriver {
+    fn new(threads: usize) -> Self {
+        let pool = if threads > 1 {
+            let p = WorkerPool::new(threads);
+            // If the global budget is spent (an outer sweep holds the
+            // slots), run shards inline rather than bouncing through a
+            // single worker.
+            if p.workers() > 1 {
+                Some(p)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        ParDriver {
+            pool,
+            shells: Vec::new(),
+            windows: 0,
+            cooldown: 0,
+        }
+    }
+}
+
+/// A boxed shard job for one window: runs the shard and returns the shell
+/// world together with its dispatch log and leftovers.
+type ShardTask = Box<dyn FnOnce() -> (World, ShardOutput<Event>) + Send>;
+
+/// The home node of a data-plane event, `None` for anything that may have
+/// global effects.
+fn event_node(ev: &Event) -> Option<usize> {
+    match ev {
+        Event::Nic(NicEvent::FrameArrive {
+            node,
+            frame: Frame::Data(_),
+        })
+        | Event::Nic(NicEvent::SendEngineDone { node })
+        | Event::Nic(NicEvent::RecvEngineDone { node, .. })
+        | Event::App(AppEvent::ProcKick { node, .. })
+        | Event::App(AppEvent::HostOpDone { node, .. }) => Some(*node),
+        _ => None,
+    }
+}
+
+/// Is `ev` provably confined to one shard for the rest of the window?
+/// `ok[n]` holds when node `n` is inside an active component, in service,
+/// not halting, and hosts no finished process; app events additionally
+/// require a Running target (Initializing processes end their init with a
+/// control message). All of these predicates are window-invariant: they
+/// only change on non-data events, which close the window first.
+fn is_local(w: &World, ev: &Event, ok: &[bool]) -> bool {
+    match ev {
+        Event::Nic(NicEvent::FrameArrive {
+            node,
+            frame: Frame::Data(_),
+        })
+        | Event::Nic(NicEvent::SendEngineDone { node })
+        | Event::Nic(NicEvent::RecvEngineDone { node, .. }) => ok[*node],
+        Event::App(AppEvent::ProcKick { node, pid })
+        | Event::App(AppEvent::HostOpDone { node, pid, .. }) => {
+            ok[*node]
+                && w.nodes[*node]
+                    .apps
+                    .get(pid)
+                    .is_some_and(|p| p.phase == ProcPhase::Running)
+        }
+        _ => false,
+    }
+}
+
+/// The cheapest countable host-CPU operation, in cycles: the unit `δ` of
+/// the `ops_remaining` exit bound.
+fn min_op_cycles(world: &World) -> u64 {
+    let inject = world.cfg.fm_costs.inject_cycles(HEADER_BYTES).raw();
+    let extract = world.cfg.fm_costs.extract_per_packet.raw();
+    inject.min(extract)
+}
+
+/// The smallest `ops_remaining` over every live process, or `None` when
+/// any program cannot bound its exit (which disables windows entirely).
+fn min_ops_hint(world: &World, now: SimTime) -> Option<u64> {
+    let mut min = u64::MAX;
+    for node in &world.nodes {
+        for proc in node.apps.values() {
+            if proc.phase == ProcPhase::Finished {
+                continue;
+            }
+            min = min.min(proc.program.ops_remaining(&proc.view(now))?);
+        }
+    }
+    Some(min)
+}
+
+/// One shard of the node partition.
+struct Comp {
+    /// Member nodes, ascending.
+    nodes: Vec<usize>,
+    /// Links used by intra-component routes (disjoint across components).
+    links: Vec<LinkId>,
+    /// Unfinished jobs placed inside the component.
+    jobs: Vec<JobId>,
+}
+
+struct Partition {
+    /// Node → component index; `None` for nodes hosting no unfinished job
+    /// (their events stay sequential).
+    comp_of: Vec<Option<usize>>,
+    comps: Vec<Comp>,
+}
+
+fn find(parent: &mut [usize], x: usize) -> usize {
+    let mut r = x;
+    while parent[r] != r {
+        parent[r] = parent[parent[r]];
+        r = parent[r];
+    }
+    r
+}
+
+fn union(parent: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    if ra != rb {
+        // Root at the smaller id so representatives are deterministic.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        parent[hi] = lo;
+    }
+}
+
+/// Partition nodes into job-connectivity components with pairwise disjoint
+/// intra-component link sets.
+fn partition(world: &World) -> Partition {
+    let n = world.cfg.nodes;
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut active = vec![false; n];
+    let mut job_anchor: Vec<(JobId, usize)> = Vec::new();
+    for (id, rec) in world.master.jobs() {
+        if rec.state == JobState::Finished {
+            continue;
+        }
+        let nodes = &rec.placement.nodes;
+        let Some(&first) = nodes.first() else {
+            continue;
+        };
+        job_anchor.push((id, first));
+        for &nd in nodes {
+            active[nd] = true;
+            union(&mut parent, first, nd);
+        }
+    }
+    let topo = world.net.topology();
+    // Link-disjointness closure. Merging two components can make new routes
+    // intra-component (a dual-switch trunk), claiming links no previous
+    // group owned, so iterate to a fixpoint; each round either merges or
+    // terminates.
+    loop {
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (nd, &is_active) in active.iter().enumerate() {
+            if is_active {
+                let r = find(&mut parent, nd);
+                groups.entry(r).or_default().push(nd);
+            }
+        }
+        let mut link_owner: BTreeMap<LinkId, usize> = BTreeMap::new();
+        let mut merged = false;
+        for (&root, nodes) in &groups {
+            for l in topo.group_links(nodes) {
+                match link_owner.get(&l) {
+                    Some(&prev) => {
+                        if find(&mut parent, prev) != find(&mut parent, root) {
+                            union(&mut parent, prev, root);
+                            merged = true;
+                        }
+                    }
+                    None => {
+                        link_owner.insert(l, root);
+                    }
+                }
+            }
+        }
+        if merged {
+            continue;
+        }
+        let mut comps: Vec<Comp> = groups
+            .into_values()
+            .map(|nodes| {
+                let links = topo.group_links(&nodes);
+                Comp {
+                    nodes,
+                    links,
+                    jobs: Vec::new(),
+                }
+            })
+            .collect();
+        comps.sort_by_key(|c| c.nodes[0]);
+        let mut comp_of = vec![None; n];
+        for (ci, c) in comps.iter().enumerate() {
+            for &nd in &c.nodes {
+                comp_of[nd] = Some(ci);
+            }
+        }
+        for (job, anchor) in job_anchor {
+            let ci = comp_of[anchor].expect("anchored node is in a component");
+            comps[ci].jobs.push(job);
+        }
+        return Partition { comp_of, comps };
+    }
+}
+
+/// Run one shard's window on a shell world. Top-level so the boxed pool
+/// tasks stay `'static`.
+fn run_one(
+    mut shell: World,
+    now: SimTime,
+    fence: (SimTime, u64),
+    events: Vec<(SimTime, u64, Event)>,
+    members: Vec<usize>,
+) -> (World, ShardOutput<Event>) {
+    let safe = move |_w: &World, ev: &Event| {
+        event_node(ev).is_some_and(|n| members.binary_search(&n).is_ok())
+    };
+    let out = run_shard(&mut shell, now, fence, events, Event::kind_index, safe);
+    (shell, out)
+}
+
+/// Restore metadata for one dispatched shard.
+struct Meta {
+    members: Vec<usize>,
+    links: Vec<LinkId>,
+    base_pkts: u64,
+}
+
+impl Sim {
+    /// Can this configuration run windowed at all? (Checked per run call;
+    /// the per-window classifier does the dynamic part.)
+    pub(crate) fn windows_enabled(&self) -> bool {
+        let c = &self.engine.model.cfg;
+        c.threads > 1
+            // Burst batching computes its run-ahead limit from the queue
+            // head; inside a shard that queue is missing other components'
+            // events, so the elision pattern (the *physical* stream) would
+            // diverge from the sequential engine even though the logical
+            // stream is identical. Keep the digest guarantee absolute:
+            // batched runs stay on the sequential engine.
+            && c.batch == 0
+            && c.gang_scheduling
+            && !c.dynamic_coscheduling
+            && matches!(c.strategy, SwitchStrategy::GangFlush)
+            && c.wire_loss_ppm == 0
+            && !c.reliability.enabled
+            && !matches!(c.fm.policy, BufferPolicy::CachedEndpoints)
+            && c.trace_capacity == 0
+    }
+
+    /// The windowed counterpart of [`sim_core::engine::Engine::run_until`]
+    /// (`until_jobs_done = false`) and `run_until_pred` over
+    /// [`World::all_jobs_finished`] (`true`). Outcomes, clock movement, and
+    /// every observable of the world match the sequential calls exactly.
+    pub(crate) fn run_windowed(&mut self, horizon: SimTime, until_jobs_done: bool) -> RunOutcome {
+        if self.par.is_none() {
+            self.par = Some(ParDriver::new(self.engine.model.cfg.threads));
+        }
+        let start_events = self.engine.events_processed();
+        loop {
+            if until_jobs_done && self.engine.model.all_jobs_finished() {
+                return RunOutcome::Horizon;
+            }
+            let Some((t_head, _)) = self.engine.drive(|_, s| s.peek_key()) else {
+                if until_jobs_done {
+                    // Mirror run_until_pred: Idle leaves the clock alone.
+                    return RunOutcome::Idle;
+                }
+                return self.engine.run_until(horizon);
+            };
+            if t_head > horizon {
+                // Nothing due: run_until just advances the clock.
+                return self.engine.run_until(horizon);
+            }
+            if self.engine.events_processed() - start_events >= self.engine.event_limit {
+                return RunOutcome::EventLimit;
+            }
+            let cooling = {
+                let par = self.par.as_mut().expect("driver initialized above");
+                if par.cooldown > 0 {
+                    par.cooldown -= 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if cooling || !self.try_window(t_head, horizon) {
+                self.engine.step_bounded(horizon);
+            }
+        }
+    }
+
+    /// Attempt one parallel window starting at the queue head. Returns
+    /// `false` (having touched nothing) when no sound window exists, in
+    /// which case the caller takes one sequential step instead.
+    fn try_window(&mut self, t_head: SimTime, horizon: SimTime) -> bool {
+        let now = self.engine.now();
+        let world = &self.engine.model;
+        let Some(min_hint) = min_ops_hint(world, now) else {
+            return false;
+        };
+        if min_hint < 2 {
+            return false;
+        }
+        let delta = min_op_cycles(world);
+        if delta == 0 {
+            return false;
+        }
+        let hint_end = t_head
+            .raw()
+            .saturating_add((min_hint - 1).saturating_mul(delta));
+        let fence_t = SimTime(hint_end.min(horizon.raw().saturating_add(1)));
+        if fence_t <= t_head {
+            return false;
+        }
+        let part = partition(world);
+        // One component (or none) means no parallelism to buy: the whole
+        // window would run on a single shard and pay the swap/merge tax
+        // for nothing. Step sequentially instead, and back off — a
+        // workload that is one component now will stay that way a while.
+        if part.comps.len() < 2 {
+            self.par
+                .as_mut()
+                .expect("driver initialized above")
+                .cooldown = COOLDOWN_STEPS;
+            return false;
+        }
+        let ok: Vec<bool> = (0..world.cfg.nodes)
+            .map(|i| {
+                part.comp_of[i].is_some()
+                    && world.nodes[i].in_service
+                    && !world.nodes[i].halt_requested
+                    && !world.nodes[i].nic.halt_bit()
+                    && world.nodes[i]
+                        .apps
+                        .values()
+                        .all(|p| p.phase != ProcPhase::Finished)
+            })
+            .collect();
+
+        let (drained, effective) =
+            drain_window(&mut self.engine, (fence_t, 0), |w, ev| is_local(w, ev, &ok));
+        if drained.is_empty() {
+            return false;
+        }
+
+        let drained_len = drained.len();
+        let mut buckets: Vec<Vec<(SimTime, u64, Event)>> =
+            (0..part.comps.len()).map(|_| Vec::new()).collect();
+        for (t, s, ev) in drained {
+            let nd = event_node(&ev).expect("local event has a home node");
+            let ci = part.comp_of[nd].expect("local event on an idle node");
+            buckets[ci].push((t, s, ev));
+        }
+        let active: Vec<usize> = (0..buckets.len())
+            .filter(|&ci| !buckets[ci].is_empty())
+            .collect();
+        // The partition may hold several components while all of this
+        // window's events sit in just one of them (a token-passing ring
+        // keeps exactly one pair busy at a time). One active shard buys no
+        // parallelism; undo the drain and step sequentially.
+        if active.len() < 2 {
+            restore_window(&mut self.engine, buckets.into_iter().flatten());
+            self.par
+                .as_mut()
+                .expect("driver initialized above")
+                .cooldown = COOLDOWN_STEPS;
+            return false;
+        }
+
+        let par = self.par.as_mut().expect("driver initialized above");
+        while par.shells.len() < active.len() {
+            par.shells.push(self.engine.model.shard_shell());
+        }
+
+        // Swap each active component's real state into a shell.
+        let world = &mut self.engine.model;
+        let mut metas: Vec<Meta> = Vec::with_capacity(active.len());
+        let mut tasks: Vec<ShardTask> = Vec::with_capacity(active.len());
+        for &ci in &active {
+            let mut shell = par.shells.pop().expect("shell stocked above");
+            let comp = &part.comps[ci];
+            for &nd in &comp.nodes {
+                std::mem::swap(&mut world.nodes[nd], &mut shell.nodes[nd]);
+            }
+            shell.net.absorb_links(&world.net, &comp.links);
+            let base_pkts = shell.net.total_packets();
+            for &j in &comp.jobs {
+                if let Some(m) = world.stats.job_bw.remove(&j) {
+                    shell.stats.job_bw.insert(j, m);
+                }
+                if let Some(t) = world.stats.job_first_send.remove(&j) {
+                    shell.stats.job_first_send.insert(j, t);
+                }
+            }
+            metas.push(Meta {
+                members: comp.nodes.clone(),
+                links: comp.links.clone(),
+                base_pkts,
+            });
+            let events = std::mem::take(&mut buckets[ci]);
+            let members = comp.nodes.clone();
+            tasks.push(Box::new(move || {
+                run_one(shell, now, effective, events, members)
+            }));
+        }
+
+        let use_pool = tasks.len() > 1 && par.pool.is_some();
+        let outputs: Vec<(World, ShardOutput<Event>)> = if use_pool {
+            scatter(par.pool.as_ref().expect("checked"), tasks)
+        } else {
+            tasks.into_iter().map(|t| t()).collect()
+        };
+
+        // Swap state back and replay the merged global order.
+        let mut shard_outs = Vec::with_capacity(outputs.len());
+        for ((mut shell, out), meta) in outputs.into_iter().zip(metas) {
+            for &nd in &meta.members {
+                std::mem::swap(&mut world.nodes[nd], &mut shell.nodes[nd]);
+            }
+            world.net.absorb_links(&shell.net, &meta.links);
+            world
+                .net
+                .add_total_packets(shell.net.total_packets() - meta.base_pkts);
+            for (j, m) in std::mem::take(&mut shell.stats.job_bw) {
+                world.stats.job_bw.insert(j, m);
+            }
+            for (j, t) in std::mem::take(&mut shell.stats.job_first_send) {
+                world.stats.job_first_send.insert(j, t);
+            }
+            par.shells.push(shell);
+            shard_outs.push(out);
+        }
+        merge_window(&mut self.engine, shard_outs);
+        let par = self.par.as_mut().expect("driver initialized above");
+        par.windows += 1;
+        if drained_len < MIN_WINDOW_EVENTS {
+            par.cooldown = COOLDOWN_STEPS;
+        }
+        true
+    }
+}

@@ -134,6 +134,42 @@ impl World {
         }
     }
 
+    /// A hollow world for one shard of windowed parallel execution (see
+    /// `crate::parallel`). Nodes are fresh dummies (real node state is
+    /// swapped in per window), the network is a clone whose per-link state
+    /// is re-absorbed from the real world each window, and the control net
+    /// is poisoned — a window event that talks to the master is a proof
+    /// violation and must fail loudly. Master, jobrep, trace, RNG, and
+    /// stats are inert placeholders that in-window (data-plane) events
+    /// never touch.
+    pub(crate) fn shard_shell(&self) -> World {
+        let nodes = (0..self.cfg.nodes)
+            .map(|id| {
+                let nic = Nic::new(
+                    id,
+                    self.cfg.nic_context_slots(),
+                    self.cfg.fm.send_region_bytes,
+                    PACKET_BYTES,
+                );
+                NodeSim::new(id, self.cfg.nodes - 1, nic)
+            })
+            .collect();
+        World {
+            cfg: self.cfg.clone(),
+            net: self.net.clone(),
+            ctrl: ControlNet::poisoned(),
+            master: Masterd::new(self.cfg.nodes, self.cfg.slots),
+            nodes,
+            trace: Trace::disabled(),
+            rng: DetRng::new(self.cfg.seed),
+            stats: WorldStats::default(),
+            jobrep: JobRep::new(),
+            pending_programs: BTreeMap::new(),
+            queued_programs: VecDeque::new(),
+            agenda_buf: Vec::with_capacity(16),
+        }
+    }
+
     /// Have all submitted jobs finished?
     pub fn all_jobs_finished(&self) -> bool {
         self.master
@@ -256,6 +292,10 @@ impl Model for World {
 pub struct Sim {
     /// The discrete-event engine; `engine.model` is the world.
     pub engine: Engine<World>,
+    /// Windowed parallel driver state (worker pool plus reusable shard
+    /// shells), created lazily on the first eligible `run_*` call when
+    /// `cfg.threads > 1`.
+    pub(crate) par: Option<crate::parallel::ParDriver>,
 }
 
 impl Sim {
@@ -292,12 +332,21 @@ impl Sim {
                 );
             }
         }
-        Sim { engine }
+        Sim { engine, par: None }
     }
 
     /// Shorthand for the world.
     pub fn world(&self) -> &World {
         &self.engine.model
+    }
+
+    /// Parallel time-windows executed so far. Zero when running with
+    /// `threads <= 1`, when the configuration is ineligible, or when the
+    /// driver never found a sound window (diagnostics for tests and
+    /// benchmarks: a threaded run that reports zero windows degenerated to
+    /// the sequential engine).
+    pub fn parallel_windows(&self) -> u64 {
+        self.par.as_ref().map_or(0, |p| p.windows)
     }
 
     /// Shorthand for the world, mutably.
@@ -360,16 +409,26 @@ impl Sim {
             })
     }
 
-    /// Run until `horizon`.
+    /// Run until `horizon`. With `cfg.threads > 1` on an eligible
+    /// configuration this uses the conservative time-window parallel
+    /// driver; results are bit-identical to the sequential loop either way.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
-        self.engine.run_until(horizon)
+        if self.windows_enabled() {
+            self.run_windowed(horizon, false)
+        } else {
+            self.engine.run_until(horizon)
+        }
     }
 
     /// Run until every submitted job finished, or `horizon`.
     /// Returns `true` if all jobs finished.
     pub fn run_until_jobs_done(&mut self, horizon: SimTime) -> bool {
-        self.engine
-            .run_until_pred(horizon, |w| w.all_jobs_finished());
+        if self.windows_enabled() {
+            self.run_windowed(horizon, true);
+        } else {
+            self.engine
+                .run_until_pred(horizon, |w| w.all_jobs_finished());
+        }
         self.engine.model.all_jobs_finished()
     }
 

@@ -171,6 +171,55 @@ impl Topology {
         &self.routes[src * self.hosts + dst]
     }
 
+    /// Total propagation latency of the `src → dst` route, in cycles.
+    /// This is a lower bound on packet delivery time (serialization time
+    /// is additive on top), which is what conservative lookahead needs.
+    pub fn route_latency_cycles(&self, src: HostId, dst: HostId) -> u64 {
+        self.route(src, dst)
+            .iter()
+            .map(|&l| self.links[l].latency_cycles)
+            .sum()
+    }
+
+    /// Conservative cross-shard lookahead for a host partition:
+    /// the minimum route latency between any two hosts in *different*
+    /// groups (`group_of_host[h]` is host `h`'s shard). An event handled
+    /// at `t` in one shard cannot make another shard's state change before
+    /// `t + lookahead`. Returns `None` when no route crosses groups — the
+    /// shards are link-disjoint and the lookahead is unbounded, so windows
+    /// are fenced by control-plane events alone.
+    pub fn min_cross_group_latency(&self, group_of_host: &[usize]) -> Option<u64> {
+        assert_eq!(group_of_host.len(), self.hosts, "one group per host");
+        let mut min: Option<u64> = None;
+        for src in 0..self.hosts {
+            for dst in 0..self.hosts {
+                if src == dst || group_of_host[src] == group_of_host[dst] {
+                    continue;
+                }
+                let lat = self.route_latency_cycles(src, dst);
+                min = Some(min.map_or(lat, |m: u64| m.min(lat)));
+            }
+        }
+        min
+    }
+
+    /// Every link id a route between two hosts of `hosts` traverses —
+    /// the complete set of network state a shard owning exactly those
+    /// hosts can read or write. Sorted and deduplicated.
+    pub fn group_links(&self, hosts: &[HostId]) -> Vec<LinkId> {
+        let mut out: Vec<LinkId> = Vec::new();
+        for &src in hosts {
+            for &dst in hosts {
+                if src != dst {
+                    out.extend_from_slice(self.route(src, dst));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     fn port_index(&self, p: Port) -> usize {
         match p {
             Port::Host(h) => h,
@@ -264,6 +313,32 @@ mod tests {
                 assert_eq!(t.route(s, d).len(), t.route(d, s).len());
             }
         }
+    }
+
+    #[test]
+    fn cross_group_lookahead_from_route_latencies() {
+        let t = Topology::single_switch(4);
+        // Any split of a single-switch net crosses through two hops of the
+        // default hop latency.
+        let lat = t.min_cross_group_latency(&[0, 0, 1, 1]).unwrap();
+        assert_eq!(lat, 2 * HOP_LATENCY_CYCLES);
+        // One group: nothing crosses, lookahead unbounded.
+        assert_eq!(t.min_cross_group_latency(&[0, 0, 0, 0]), None);
+        // Custom latency feeds straight through.
+        let t = Topology::single_switch_custom(4, MYRINET_BW, 7);
+        assert_eq!(t.min_cross_group_latency(&[0, 1, 1, 1]), Some(14));
+    }
+
+    #[test]
+    fn group_links_are_disjoint_for_disjoint_pairs() {
+        let t = Topology::single_switch(6);
+        let a = t.group_links(&[0, 1]);
+        let b = t.group_links(&[2, 3]);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(a.iter().all(|l| !b.contains(l)), "pairs share links");
+        // Overlapping host sets share links.
+        let c = t.group_links(&[1, 2]);
+        assert!(c.iter().any(|l| a.contains(l)));
     }
 
     #[test]

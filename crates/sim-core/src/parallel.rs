@@ -1,0 +1,461 @@
+//! Conservative time-window parallel execution for the deterministic
+//! engine.
+//!
+//! A *window* is a half-open span of simulated time `[t0, fence)` during
+//! which a driver has proven (by model-specific lookahead) that disjoint
+//! *shards* of the model cannot affect each other. The driver drains every
+//! pending event due inside the window, partitions them by shard, and runs
+//! each shard to the fence on its own thread against a shard-local
+//! [`Scheduler`]. Afterwards [`merge_window`] replays the *global*
+//! delivery order — the deterministic `(time, seq, shard)` merge of the
+//! per-shard dispatch logs — against the real engine, so the stream
+//! digest, the per-kind counters, and every sequence number assigned to a
+//! surviving emission are bit-identical to a sequential run at any worker
+//! count, including one.
+//!
+//! ## Why the merge is exact
+//!
+//! Sequential delivery order is ascending `(time, seq)`; an event's
+//! emissions claim the next sequence numbers at the moment their parent is
+//! handled. Inside a window, shards are independent, so the global order
+//! is an interleaving of the per-shard orders — and the interleaving is
+//! fully determined by replaying "smallest `(time, seq)` front first" and
+//! assigning claim numbers as each parent is replayed. Shard-local
+//! emissions are keyed from [`VIRT_SEQ_BASE`] (above every real seq), so
+//! inside a shard a fresh emission orders after any drained event at the
+//! same instant — exactly where a freshly claimed seq would land
+//! sequentially. Ties across shards resolve through the assigned global
+//! seqs, which is what makes the `(time, seq, shard)` order total and
+//! reproducible.
+
+use crate::engine::{Engine, Model, Scheduler};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Base of the shard-local virtual sequence range. Real sequence numbers
+/// stay far below this (2^63 events would take centuries to schedule), so
+/// `real < VIRT_SEQ_BASE <= virtual` is an invariant the shard-local
+/// ordering relies on.
+pub const VIRT_SEQ_BASE: u64 = 1 << 63;
+
+/// One event a shard dispatched, in shard-local dispatch order.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchRecord {
+    /// Delivery instant.
+    pub time: SimTime,
+    /// Shard-local key: the original global seq for drained events, or a
+    /// virtual seq (≥ [`VIRT_SEQ_BASE`]) for in-window emissions.
+    pub seq: u64,
+    /// Event kind index (the engine's classifier).
+    pub kind: u32,
+    /// How many sequence numbers the handler claimed (emissions plus
+    /// inline-dispatch claims), in claim order.
+    pub claims: u64,
+    /// Inline (run-ahead) dispatches the model reported while handling.
+    pub inline: u64,
+}
+
+/// Queue entries drained for one window: `(time, seq, event)` triples in
+/// global delivery order, carrying their original sequence numbers.
+pub type DrainedEvents<E> = Vec<(SimTime, u64, E)>;
+
+/// Everything one shard produced in one window.
+pub struct ShardOutput<E> {
+    /// Dispatch log, in shard-local delivery order.
+    pub records: Vec<DispatchRecord>,
+    /// Events still pending when the shard reached the fence, keyed by
+    /// shard-local seq. [`merge_window`] rewrites these to global seqs and
+    /// returns them to the engine's queue.
+    pub leftovers: Vec<(SimTime, u64, E)>,
+}
+
+/// Drain every pending event due before `fence` for which `local` holds,
+/// in global delivery order, returning the drained entries (with their
+/// original seqs) and the *effective* fence — `fence`, or the key of the
+/// first non-local event encountered, whichever is smaller. The non-local
+/// event itself is pushed back unchanged; events beyond the effective
+/// fence are never popped, so a Global event keeps its place ahead of
+/// everything the window may not touch yet.
+pub fn drain_window<M: Model>(
+    engine: &mut Engine<M>,
+    fence: (SimTime, u64),
+    mut local: impl FnMut(&M, &M::Event) -> bool,
+) -> (DrainedEvents<M::Event>, (SimTime, u64)) {
+    let mut drained = Vec::new();
+    let mut effective = fence;
+    while let Some(key) = engine.sched.peek_key() {
+        if key >= effective {
+            break;
+        }
+        let (t, s, ev) = engine.sched.pop_entry().expect("peeked event vanished");
+        if local(&engine.model, &ev) {
+            drained.push((t, s, ev));
+        } else {
+            engine.sched.push_claimed(t, s, ev);
+            effective = (t, s);
+            break;
+        }
+    }
+    (drained, effective)
+}
+
+/// Return drained-but-undelivered window entries to the engine's queue
+/// with their original seqs — the inverse of [`drain_window`], for a
+/// window the driver examined and then declined to run (e.g. every event
+/// fell into one component, so there is no parallelism to buy).
+pub fn restore_window<M: Model>(
+    engine: &mut Engine<M>,
+    entries: impl IntoIterator<Item = (SimTime, u64, M::Event)>,
+) {
+    for (t, s, ev) in entries {
+        engine.sched.push_claimed(t, s, ev);
+    }
+}
+
+/// Run one shard of a window: deliver `events` (and any emissions that
+/// land before the fence) against `model` in `(time, seq)` order.
+///
+/// `events` are the drained global-queue entries belonging to this shard,
+/// carrying their original seqs. `fence` is the exclusive window bound as
+/// a full `(time, seq)` key. `classify` is the engine's kind classifier.
+/// `shard_safe` is the driver's per-event footprint check; it must hold
+/// for every event delivered inside a window — a violation means the
+/// window bound was unsound, and panicking immediately beats silently
+/// diverging from the sequential order.
+pub fn run_shard<M: Model>(
+    model: &mut M,
+    now: SimTime,
+    fence: (SimTime, u64),
+    events: Vec<(SimTime, u64, M::Event)>,
+    classify: fn(&M::Event) -> usize,
+    mut shard_safe: impl FnMut(&M, &M::Event) -> bool,
+) -> ShardOutput<M::Event> {
+    let mut sched: Scheduler<M::Event> = Scheduler::shard(now, VIRT_SEQ_BASE, fence.0);
+    for (t, s, e) in events {
+        debug_assert!(s < VIRT_SEQ_BASE, "drained event carries a virtual seq");
+        debug_assert!((t, s) < fence, "drained event past the fence");
+        sched.push_claimed(t, s, e);
+    }
+    let mut records = Vec::new();
+    while let Some(key) = sched.peek_key() {
+        if key >= fence {
+            break;
+        }
+        let (t, s, ev) = sched.pop_entry().expect("peeked event vanished");
+        assert!(
+            shard_safe(model, &ev),
+            "windowed parallel run delivered an event outside its shard's \
+             proven footprint at {t:?} (unsound window bound)"
+        );
+        let kind = classify(&ev) as u32;
+        sched.now = t;
+        let seq_before = sched.seq;
+        let inline_before = sched.inline;
+        model.handle(t, ev, &mut sched);
+        records.push(DispatchRecord {
+            time: t,
+            seq: s,
+            kind,
+            claims: sched.seq - seq_before,
+            inline: sched.inline - inline_before,
+        });
+    }
+    let mut leftovers = Vec::new();
+    while let Some(entry) = sched.pop_entry() {
+        leftovers.push(entry);
+    }
+    ShardOutput { records, leftovers }
+}
+
+/// Resolve a shard-local seq to its global seq. Real seqs pass through;
+/// virtual seqs index the shard's claim map, which is guaranteed to be
+/// populated by the time the seq is needed (a claim always precedes the
+/// delivery of the event it keys).
+#[inline]
+fn global_seq(local: u64, map: &[u64]) -> u64 {
+    if local < VIRT_SEQ_BASE {
+        local
+    } else {
+        map[(local - VIRT_SEQ_BASE) as usize]
+    }
+}
+
+/// Replay a window's shard outputs against the engine in global
+/// `(time, seq, shard)` order.
+///
+/// Walks the per-shard dispatch logs with a k-way merge on
+/// `(time, global seq)`, folding each record into the engine's digest and
+/// counters and assigning fresh global seqs to each record's claims — the
+/// same seqs a sequential run would have assigned. Leftover emissions are
+/// rewritten to their global seqs and pushed back to the engine's queue.
+/// Returns the number of events replayed; the engine clock is left at the
+/// last replayed instant.
+pub fn merge_window<M: Model>(engine: &mut Engine<M>, shards: Vec<ShardOutput<M::Event>>) -> u64 {
+    let k = shards.len();
+    let mut maps: Vec<Vec<u64>> = (0..k).map(|_| Vec::new()).collect();
+    let mut cursors = vec![0usize; k];
+    // Merge frontier: Reverse((time, global_seq, shard)). The shard index
+    // only breaks ties between *identical* (time, seq) keys, which cannot
+    // occur (seqs are unique); it is part of the key so the order is
+    // visibly total.
+    let mut frontier: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::new();
+    for (i, s) in shards.iter().enumerate() {
+        if let Some(r) = s.records.first() {
+            frontier.push(Reverse((r.time, global_seq(r.seq, &maps[i]), i)));
+        }
+    }
+    let mut replayed = 0u64;
+    let mut last: Option<SimTime> = None;
+    while let Some(Reverse((time, _gseq, i))) = frontier.pop() {
+        let r = shards[i].records[cursors[i]];
+        debug_assert_eq!(r.time, time);
+        cursors[i] += 1;
+        engine.fold_dispatch(r.time, r.kind as usize);
+        for _ in 0..r.claims {
+            let g = engine.sched.claim_seq();
+            maps[i].push(g);
+        }
+        engine.sched.note_inline_dispatches(r.inline);
+        replayed += 1;
+        last = Some(r.time);
+        if let Some(next) = shards[i].records.get(cursors[i]) {
+            // The next record's parent (if virtual) was already replayed —
+            // records are in shard delivery order — so its global seq is
+            // resolvable here.
+            frontier.push(Reverse((next.time, global_seq(next.seq, &maps[i]), i)));
+        }
+    }
+    for (i, shard) in shards.into_iter().enumerate() {
+        debug_assert_eq!(cursors[i], shard.records.len());
+        for (t, s, ev) in shard.leftovers {
+            let g = global_seq(s, &maps[i]);
+            engine.sched.push_claimed(t, g, ev);
+        }
+    }
+    if let Some(t) = last {
+        debug_assert!(t >= engine.now());
+        engine.sched.now = t;
+    }
+    replayed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Cycles;
+
+    /// A model where event `n` at time `t` reschedules itself at `t + n`
+    /// until a per-id budget runs out. Distinct ids never interact, so any
+    /// id-partition is a valid sharding.
+    struct Chains {
+        budget: Vec<u32>,
+        log: Vec<(u64, usize)>,
+    }
+
+    impl Model for Chains {
+        type Event = usize;
+        fn handle(&mut self, now: SimTime, id: usize, sched: &mut Scheduler<usize>) {
+            self.log.push((now.raw(), id));
+            if self.budget[id] > 0 {
+                self.budget[id] -= 1;
+                sched.after(Cycles(id as u64 + 1), id);
+            }
+        }
+    }
+
+    fn classify(e: &usize) -> usize {
+        *e % 2
+    }
+
+    fn seed_engine(budget: Vec<u32>) -> Engine<Chains> {
+        let mut e = Engine::new(Chains {
+            budget,
+            log: Vec::new(),
+        });
+        e.set_event_kinds(&["even", "odd"], classify);
+        for id in 0..e.model.budget.len() {
+            e.schedule_at(SimTime(10 + id as u64), id);
+        }
+        e
+    }
+
+    /// The pinned contract: a windowed run — drain, shard, merge — gives
+    /// the same digest, event count, and subsequent seq assignment as the
+    /// plain sequential engine, with the merge resolving every same-time
+    /// tie by global seq and shard index.
+    #[test]
+    fn windowed_run_matches_sequential_bit_for_bit() {
+        let budgets = vec![40, 30, 20, 10];
+        // Sequential reference.
+        let mut seq_engine = seed_engine(budgets.clone());
+        seq_engine.run_until(SimTime(2_000));
+        seq_engine.run_to_idle();
+
+        // Windowed: one window to t=60, shards {0,2} and {1,3}, then the
+        // sequential engine finishes the rest.
+        let mut win_engine = seed_engine(budgets);
+        let fence = (SimTime(60), 0);
+        let mut drained: Vec<Vec<(SimTime, u64, usize)>> = vec![Vec::new(), Vec::new()];
+        win_engine.drive(|_, sched| {
+            while let Some(key) = sched.peek_key() {
+                if key >= fence {
+                    break;
+                }
+                let (t, s, ev) = sched.pop_entry().unwrap();
+                drained[ev % 2].push((t, s, ev));
+            }
+        });
+        let t0 = win_engine.now();
+        // Run each shard against its own model half and graft the halves
+        // back. Chains has no cross-id state, so a split model is just two
+        // clones that each only touch their ids.
+        let mut outputs = Vec::new();
+        for part in drained {
+            let mut shard_model = Chains {
+                budget: win_engine.model.budget.clone(),
+                log: Vec::new(),
+            };
+            let out = run_shard(&mut shard_model, t0, fence, part, classify, |_, _| true);
+            // Graft mutated per-id state back into the real model.
+            for (id, b) in shard_model.budget.iter().enumerate() {
+                if *b != win_engine.model.budget[id] {
+                    win_engine.model.budget[id] = *b;
+                }
+            }
+            win_engine.model.log.extend(shard_model.log);
+            outputs.push(out);
+        }
+        merge_window(&mut win_engine, outputs);
+        win_engine.run_until(SimTime(2_000));
+        win_engine.run_to_idle();
+
+        assert_eq!(win_engine.events_processed(), seq_engine.events_processed());
+        assert_eq!(win_engine.stream_digest(), seq_engine.stream_digest());
+        // The logs cover the same multiset of deliveries (shard logs are
+        // only per-shard ordered, so compare sorted).
+        let mut a = seq_engine.model.log.clone();
+        let mut b = win_engine.model.log.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    /// Pin the tie-break directly: two shards with same-instant records
+    /// merge by global seq (drained reals first, then claims in parent
+    /// order), never by shard arrival.
+    #[test]
+    fn merge_orders_same_instant_records_by_global_seq() {
+        let mut e: Engine<Chains> = Engine::new(Chains {
+            budget: vec![0; 4],
+            log: Vec::new(),
+        });
+        e.set_event_kinds(&["even", "odd"], classify);
+        // Claim seqs 0..4 as if four events had been scheduled and drained.
+        let (s0, s1, s2, s3) =
+            e.drive(|_, s| (s.claim_seq(), s.claim_seq(), s.claim_seq(), s.claim_seq()));
+        let t = SimTime(100);
+        // Shard A dispatched reals s1, s2 at t; its s1 emitted one event
+        // (claim 0) delivered at t as well (virtual seq base).
+        let shard_a = ShardOutput::<usize> {
+            records: vec![
+                DispatchRecord {
+                    time: t,
+                    seq: s1,
+                    kind: 0,
+                    claims: 1,
+                    inline: 0,
+                },
+                DispatchRecord {
+                    time: t,
+                    seq: s2,
+                    kind: 0,
+                    claims: 0,
+                    inline: 0,
+                },
+                DispatchRecord {
+                    time: t,
+                    seq: VIRT_SEQ_BASE,
+                    kind: 1,
+                    claims: 0,
+                    inline: 0,
+                },
+            ],
+            leftovers: vec![],
+        };
+        // Shard B dispatched reals s0, s3 at t.
+        let shard_b = ShardOutput::<usize> {
+            records: vec![
+                DispatchRecord {
+                    time: t,
+                    seq: s0,
+                    kind: 1,
+                    claims: 0,
+                    inline: 0,
+                },
+                DispatchRecord {
+                    time: t,
+                    seq: s3,
+                    kind: 1,
+                    claims: 0,
+                    inline: 0,
+                },
+            ],
+            leftovers: vec![],
+        };
+        let replayed = merge_window(&mut e, vec![shard_a, shard_b]);
+        assert_eq!(replayed, 5);
+        // Expected global order: s0 (B), s1 (A), s2 (A), s3 (B), then A's
+        // virtual emission — its global seq was claimed while replaying s1,
+        // i.e. seq 4, after every drained real. Reproduce the digest by
+        // folding the same (time, kind) stream sequentially.
+        let mut ref_engine: Engine<Chains> = Engine::new(Chains {
+            budget: vec![0; 4],
+            log: Vec::new(),
+        });
+        ref_engine.set_event_kinds(&["even", "odd"], classify);
+        for kind_as_id in [1usize, 0, 0, 1, 1] {
+            ref_engine.schedule_at(t, kind_as_id);
+        }
+        ref_engine.run_to_idle();
+        assert_eq!(e.stream_digest(), ref_engine.stream_digest());
+        assert_eq!(e.events_processed(), 5);
+        // The next global seq continues after the one claim made.
+        let next = e.drive(|_, s| s.claim_seq());
+        assert_eq!(next, 5);
+    }
+
+    /// Leftovers cross the fence with correctly remapped seqs: an emission
+    /// claimed in-window keeps its claim-order position among later events.
+    #[test]
+    fn leftovers_rejoin_the_queue_under_their_global_seq() {
+        let mut e = seed_engine(vec![3]);
+        // Drain the single seeded event into a 1-shard window fenced just
+        // past it; its reschedule lands beyond the fence and must come back.
+        let fence = (SimTime(11), 0);
+        let mut part = Vec::new();
+        e.drive(|_, sched| {
+            while let Some(key) = sched.peek_key() {
+                if key >= fence {
+                    break;
+                }
+                part.push(sched.pop_entry().unwrap());
+            }
+        });
+        let t0 = e.now();
+        let mut shard_model = Chains {
+            budget: e.model.budget.clone(),
+            log: Vec::new(),
+        };
+        let out = run_shard(&mut shard_model, t0, fence, part, classify, |_, _| true);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.leftovers.len(), 1);
+        e.model.budget = shard_model.budget.clone();
+        e.model.log.extend(shard_model.log);
+        merge_window(&mut e, vec![out]);
+        e.run_to_idle();
+        // Full chain ran: initial event + 3 rescheduled.
+        assert_eq!(e.events_processed(), 4);
+        assert_eq!(e.model.log, vec![(10, 0), (11, 0), (12, 0), (13, 0)]);
+    }
+}

@@ -60,6 +60,13 @@ impl Program for Sender {
             Op::Done
         }
     }
+    fn ops_remaining(&self, view: &ProcView) -> Option<u64> {
+        // `sent` is bumped the moment a Send op is issued, so `count - sent`
+        // counts the injections still ahead exactly; the finish message adds
+        // one extraction before Done.
+        let finish = u64::from(view.msgs_received < 1);
+        Some(self.count - self.sent + finish)
+    }
     fn name(&self) -> &'static str {
         "p2p-sender"
     }
@@ -85,6 +92,14 @@ impl Program for Receiver {
         } else {
             Op::Done
         }
+    }
+    fn ops_remaining(&self, view: &ProcView) -> Option<u64> {
+        // Every message not yet fully received costs at least one more
+        // extraction on this CPU, and the finish Send one injection. This
+        // is what keeps windows wide during the steady state: the bound
+        // shrinks only as messages actually land.
+        let recv_left = self.count.saturating_sub(view.msgs_received);
+        Some(recv_left + u64::from(!self.finished))
     }
     fn name(&self) -> &'static str {
         "p2p-receiver"

@@ -61,6 +61,9 @@ struct PairsProgram {
     rank: usize,
     round: u64,
     sent_this_round: bool,
+    /// Total messages owed over the whole schedule, precomputed so the
+    /// per-window `ops_remaining` probe stays O(1).
+    owed_total: u64,
 }
 
 impl Program for PairsProgram {
@@ -92,6 +95,15 @@ impl Program for PairsProgram {
         }
         self.next_op(view)
     }
+    fn ops_remaining(&self, view: &ProcView) -> Option<u64> {
+        // The schedule is fixed by the seed: this rank sends `rounds`
+        // messages and collects its owed total before Done. `msgs_sent`
+        // counts fully sent messages, so both terms are lower bounds.
+        Some(
+            self.cfg.rounds.saturating_sub(view.msgs_sent)
+                + self.owed_total.saturating_sub(view.msgs_received),
+        )
+    }
     fn name(&self) -> &'static str {
         "random-pairs"
     }
@@ -108,6 +120,7 @@ impl Workload for RandomPairs {
             rank,
             round: 0,
             sent_this_round: false,
+            owed_total: expected_received(self.seed, self.nprocs, rank, self.rounds),
         })
     }
     fn name(&self) -> &'static str {

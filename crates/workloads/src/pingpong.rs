@@ -64,6 +64,13 @@ impl Program for PingPongProgram {
             self.next_op(view)
         }
     }
+    fn ops_remaining(&self, view: &ProcView) -> Option<u64> {
+        // Both ranks send and fully receive exactly `round_trips` messages
+        // before Done; every outstanding message still costs this CPU at
+        // least one injection or extraction.
+        let total = self.cfg.round_trips;
+        Some(total.saturating_sub(view.msgs_sent) + total.saturating_sub(view.msgs_received))
+    }
     fn name(&self) -> &'static str {
         "ping-pong"
     }

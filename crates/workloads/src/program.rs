@@ -50,11 +50,40 @@ pub struct ProcView {
 }
 
 /// The behavior of one process.
-pub trait Program {
+///
+/// Programs are `Send` so the windowed parallel engine can carry a shard's
+/// processes to a worker thread; they were always owned by a single node
+/// simulation, so nothing about the execution model changes.
+pub trait Program: Send {
     /// The next operation. Called once at start and again after each op
     /// completes. Must eventually return [`Op::Done`] unless the program is
     /// deliberately endless (stress workloads stopped by the harness).
     fn next_op(&mut self, view: &ProcView) -> Op;
+
+    /// A lower bound on the number of host-CPU operations that must still
+    /// complete for this process before it can return [`Op::Done`], or
+    /// `None` when the program cannot tell. Countable operations are
+    /// message-fragment injections (each `Send` contributes at least one),
+    /// receive-side extractions (each message still missing from
+    /// `view.msgs_received` contributes at least one), and `Compute` ops —
+    /// provided each `Compute` lasts at least one fragment-injection time.
+    ///
+    /// The windowed parallel engine uses this to bound how soon a process
+    /// can exit: the countable operations serialize on the process's host
+    /// CPU and each occupies it for at least one minimal library
+    /// operation, so a process with `k` of them remaining cannot reach
+    /// `Done` for at least `k - 1` such durations — which is what lets a
+    /// window close *before* any process can possibly finish (process exit
+    /// is control-plane traffic that must not happen mid-window).
+    ///
+    /// The bound must never overestimate — returning a value larger than
+    /// the true remaining count breaks determinism of parallel runs.
+    /// `None` (the default) is always safe and simply disables windowed
+    /// parallelism for jobs running this program.
+    fn ops_remaining(&self, view: &ProcView) -> Option<u64> {
+        let _ = view;
+        None
+    }
 
     /// Workload name for traces and reports.
     fn name(&self) -> &'static str {
@@ -84,6 +113,9 @@ impl Program for IdleProgram {
     fn next_op(&mut self, _view: &ProcView) -> Op {
         Op::Done
     }
+    fn ops_remaining(&self, _view: &ProcView) -> Option<u64> {
+        Some(0)
+    }
     fn name(&self) -> &'static str {
         "idle"
     }
@@ -108,6 +140,10 @@ impl Default for SpinProgram {
 impl Program for SpinProgram {
     fn next_op(&mut self, _view: &ProcView) -> Op {
         Op::Compute(self.chunk)
+    }
+    fn ops_remaining(&self, _view: &ProcView) -> Option<u64> {
+        // Endless: every future event still leaves unbounded compute ahead.
+        Some(u64::MAX)
     }
     fn name(&self) -> &'static str {
         "spin"

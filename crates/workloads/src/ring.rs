@@ -62,6 +62,23 @@ impl Program for RingProgram {
             Op::Done
         }
     }
+    fn ops_remaining(&self, view: &ProcView) -> Option<u64> {
+        let left = self.cfg.laps - self.forwarded;
+        // Each remaining lap needs at least one more token extraction here
+        // (tokens not yet reflected in `msgs_received` arrive later), and
+        // every rank but the last-to-act still owes one Send injection.
+        let recv_left = self.cfg.laps.saturating_sub(view.msgs_received);
+        let send_left = if self.rank == 0 {
+            // Rank 0 bumps `forwarded` only when the token returns, so the
+            // current lap's Send may already be in flight; stay a lower
+            // bound by discounting it.
+            left.saturating_sub(1)
+        } else {
+            // Forwarders bump `forwarded` as they issue each Send: exact.
+            left
+        };
+        Some(recv_left + send_left)
+    }
     fn name(&self) -> &'static str {
         "ring"
     }

@@ -208,6 +208,156 @@ fn burst_fast_path_preserves_logical_event_stream() {
     assert_eq!(off, on);
 }
 
+/// Every published figure cell must be bit-identical at 1, 2, and 8
+/// worker threads, across seeds: `.threads(n)` is an execution strategy,
+/// never a model change.
+#[test]
+fn threaded_fig_cells_match_sequential_bit_for_bit() {
+    for seed in [5u64, 91, 4242] {
+        for threads in [2usize, 8] {
+            // Fig. 5 cells: single-job bandwidth, one and three contexts.
+            for contexts in [1, 3] {
+                let seq = Measurement::fig5(contexts, 65_536, 40).seed(seed).run();
+                let par = Measurement::fig5(contexts, 65_536, 40)
+                    .seed(seed)
+                    .threads(threads)
+                    .run();
+                assert_eq!(seq.mbps.to_bits(), par.mbps.to_bits(), "seed {seed}");
+                assert_eq!(seq.completed, par.completed, "seed {seed}");
+                assert_eq!(seq.credits, par.credits, "seed {seed}");
+            }
+
+            // Fig. 6 cell: time-sliced jobs under buffer switching.
+            let q = Cycles::from_ms(50);
+            let w = Cycles::from_ms(100);
+            let seq = Measurement::fig6(2, 1536, q, w).seed(seed).run();
+            let par = Measurement::fig6(2, 1536, q, w)
+                .seed(seed)
+                .threads(threads)
+                .run();
+            assert_eq!(seq.total_mbps.to_bits(), par.total_mbps.to_bits());
+            for (a, b) in seq.per_job_mbps.iter().zip(&par.per_job_mbps) {
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+            }
+            assert_eq!(seq.switches, par.switches, "seed {seed}");
+
+            // Fig. 8 run: all-to-all stress, queue samples at switch time.
+            let seq = switch_overhead_run(
+                4,
+                CopyStrategy::ValidOnly,
+                SwitchStrategy::GangFlush,
+                3,
+                seed,
+            );
+            let par = Measurement::switch_overhead(
+                4,
+                CopyStrategy::ValidOnly,
+                SwitchStrategy::GangFlush,
+                3,
+            )
+            .seed(seed)
+            .threads(threads)
+            .run();
+            assert_eq!(
+                seq.ledger.mean_total().to_bits(),
+                par.ledger.mean_total().to_bits(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                seq.queue_samples.len(),
+                par.queue_samples.len(),
+                "seed {seed}"
+            );
+            for (a, b) in seq.queue_samples.iter().zip(&par.queue_samples) {
+                assert_eq!(
+                    (a.node, a.epoch, a.send_valid, a.recv_valid),
+                    (b.node, b.epoch, b.send_valid, b.recv_valid),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+/// The windowed parallel engine (`cfg.threads > 1`) is an execution
+/// strategy, not a model change: the committed golden digest must come out
+/// of the shard-and-merge path bit-for-bit, at any thread count.
+#[test]
+fn threaded_run_reproduces_golden_digest() {
+    for threads in [2, 8] {
+        let mut cfg = ClusterConfig::parpar(4, 2, BufferPolicy::FullBuffer);
+        cfg.quantum = Cycles::from_ms(30);
+        cfg.seed = 77;
+        cfg.threads = threads;
+        let mut sim = Sim::new(cfg);
+        let bench = P2pBandwidth::with_count(4096, 500);
+        sim.submit(&bench, Some(vec![0, 1])).unwrap();
+        sim.submit(&bench, Some(vec![0, 1])).unwrap();
+        assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(20)));
+        assert_eq!(
+            sim.engine.events_processed(),
+            golden::FULL_BUFFER_EVENTS,
+            "threads={threads}"
+        );
+        assert_eq!(
+            sim.engine.stream_digest(),
+            golden::FULL_BUFFER_DIGEST,
+            "threads={threads}"
+        );
+    }
+}
+
+/// Jobs on disjoint node sets shard into genuinely parallel windows; the
+/// merged stream must still match the sequential engine exactly — digest,
+/// event count, clock, and per-job stats.
+#[test]
+fn disjoint_jobs_shard_and_match_sequential() {
+    let run = |threads: usize| {
+        let mut cfg = ClusterConfig::parpar(8, 1, BufferPolicy::StaticDivision);
+        cfg.auto_rotate = false;
+        cfg.seed = 913;
+        cfg.threads = threads;
+        let mut sim = Sim::new(cfg);
+        let bench = P2pBandwidth::with_count(4096, 300);
+        let mut jobs = Vec::new();
+        for pair in [[0usize, 1], [2, 3], [4, 5], [6, 7]] {
+            jobs.push(sim.submit(&bench, Some(pair.to_vec())).unwrap());
+        }
+        assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(20)));
+        if threads > 1 {
+            assert!(
+                sim.parallel_windows() > 0,
+                "threads={threads}: windowed driver never engaged"
+            );
+        }
+        let finishes: Vec<_> = jobs
+            .iter()
+            .map(|j| sim.world().stats.job_finished[j])
+            .collect();
+        let bw: Vec<u64> = jobs
+            .iter()
+            .map(|j| {
+                sim.world()
+                    .stats
+                    .job_bandwidth_mbps(*j, 4096 * 300)
+                    .unwrap()
+                    .to_bits()
+            })
+            .collect();
+        (
+            sim.engine.events_processed(),
+            sim.engine.stream_digest(),
+            sim.engine.now(),
+            finishes,
+            bw,
+        )
+    };
+    let seq = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), seq, "threads={threads}");
+    }
+}
+
 #[test]
 fn different_seeds_vary_jitter_but_preserve_shape() {
     let x = switch_overhead_run(8, CopyStrategy::Full, SwitchStrategy::GangFlush, 3, 1);
