@@ -12,39 +12,34 @@
 //!   engine shards it; it measures the multi-shard path.
 //!
 //! Each scenario runs at `--batch off` and `--batch 16`, at every thread
-//! count in the sweep (`1 2 4 8` by default; just `N` when `--threads N`
-//! is given — the form CI uses to compare two thread counts). Every row
-//! carries the event-stream digest, which must be bit-identical across
-//! thread counts and is printed as stable `DIGEST` lines for CI to diff.
-//! Batched rows always run on the sequential engine (`windows` = 0): the
-//! windowed driver declares `batch > 0` ineligible so the physical stream
-//! digest never depends on the sharding.
+//! count in the sweep. The default sweep is `1 2 4 8` **clipped to the
+//! host's cores**: an oversubscribed run measures scheduler contention,
+//! not engine scaling, and used to produce rows that read as parallel
+//! slowdowns on small CI hosts. An explicit `--threads N` (the form CI
+//! uses to compare two counts) always runs and is instead marked
+//! `oversubscribed` in the table and the JSON when `N` exceeds the cores.
+//! Every row carries the event-stream digest, which must be bit-identical
+//! across thread counts and is printed as stable `DIGEST` lines for CI to
+//! diff. Batched rows always run on the sequential engine (`windows` = 0):
+//! the windowed driver declares `batch > 0` ineligible so the physical
+//! stream digest never depends on the sharding.
+//!
+//! The row format and its JSON round-trip live in
+//! [`bench_harness::snapshot`].
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin perf_snapshot \
 //!     [--threads N] [--seed N] [--out FILE] [--quick]
 //! ```
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
+use bench_harness::snapshot::{Row, Snapshot};
 use cluster::{ClusterConfig, Sim};
 use fastmsg::division::BufferPolicy;
 use sim_core::time::{Cycles, SimTime};
 use workloads::p2p::P2pBandwidth;
 use workloads::ring::Ring;
-
-/// One measured run.
-struct Row {
-    scenario: &'static str,
-    threads: usize,
-    batch: usize,
-    wall_ms: f64,
-    logical_events: u64,
-    events_per_sec: f64,
-    digest: u64,
-    windows: u64,
-}
 
 /// Everything a run returns besides wall time.
 struct Outcome {
@@ -115,41 +110,10 @@ fn measure(quick: bool, f: impl Fn() -> Outcome) -> (f64, Outcome) {
     (times[times.len() / 2], out.expect("at least one rep"))
 }
 
-fn json(rows: &[Row], seed: u64) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"engine_throughput\",");
-    let _ = writeln!(s, "  \"seed\": {seed},");
-    let _ = writeln!(
-        s,
-        "  \"host_cores\": {},",
-        sim_core::pool::max_parallelism()
-    );
-    s.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            s,
-            "    {{\"scenario\": \"{}\", \"threads\": {}, \"batch\": {}, \
-             \"wall_ms\": {:.3}, \"logical_events\": {}, \
-             \"events_per_sec\": {:.0}, \"digest\": \"{:#018x}\", \
-             \"windows\": {}}}",
-            r.scenario,
-            r.threads,
-            r.batch,
-            r.wall_ms,
-            r.logical_events,
-            r.events_per_sec,
-            r.digest,
-            r.windows,
-        );
-        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    s.push_str("  ]\n}\n");
-    s
-}
-
 fn main() {
+    let host_cores = sim_core::pool::max_parallelism();
     let mut threads_sweep: Vec<usize> = vec![1, 2, 4, 8];
+    let mut threads_explicit = false;
     let mut seed = 42u64;
     let mut out_path = String::from("BENCH_engine.json");
     let mut quick = false;
@@ -168,6 +132,7 @@ fn main() {
             let n: usize = v.parse().expect("--threads takes an integer");
             assert!(n >= 1, "--threads must be at least 1");
             threads_sweep = vec![n];
+            threads_explicit = true;
         } else if let Some(rest) = a.strip_prefix("--seed") {
             let v = match rest.strip_prefix('=') {
                 Some(v) => v.to_string(),
@@ -190,14 +155,25 @@ fn main() {
             panic!("unknown flag {a}");
         }
     }
+    if !threads_explicit {
+        let before = threads_sweep.len();
+        threads_sweep.retain(|&t| t == 1 || t <= host_cores);
+        if threads_sweep.len() < before {
+            eprintln!(
+                "host has {host_cores} cores: clipping the default thread sweep to \
+                 {threads_sweep:?} (pass --threads N to force an oversubscribed run)"
+            );
+        }
+    }
 
     let (ring_laps, pairs_count) = if quick { (1, 60) } else { (4, 400) };
     let mut rows = Vec::new();
     for &threads in &threads_sweep {
+        let oversubscribed = threads > host_cores;
         for batch in [0usize, 16] {
             let (wall_ms, o) = measure(quick, || run_ring(threads, batch, seed, ring_laps));
             rows.push(Row {
-                scenario: "ring_1mib",
+                scenario: "ring_1mib".into(),
                 threads,
                 batch,
                 wall_ms,
@@ -205,10 +181,11 @@ fn main() {
                 events_per_sec: o.logical_events as f64 / (wall_ms / 1e3),
                 digest: o.digest,
                 windows: o.windows,
+                oversubscribed,
             });
             let (wall_ms, o) = measure(quick, || run_pairs64(threads, batch, seed, pairs_count));
             rows.push(Row {
-                scenario: "pairs64",
+                scenario: "pairs64".into(),
                 threads,
                 batch,
                 wall_ms,
@@ -216,6 +193,7 @@ fn main() {
                 events_per_sec: o.logical_events as f64 / (wall_ms / 1e3),
                 digest: o.digest,
                 windows: o.windows,
+                oversubscribed,
             });
         }
     }
@@ -226,7 +204,7 @@ fn main() {
     );
     for r in &rows {
         println!(
-            "{:<10} {:>7} {:>5} {:>10.1} {:>12} {:>12.0} {:>8}  {:#018x}",
+            "{:<10} {:>7} {:>5} {:>10.1} {:>12} {:>12.0} {:>8}  {:#018x}{}",
             r.scenario,
             r.threads,
             r.batch,
@@ -234,7 +212,12 @@ fn main() {
             r.logical_events,
             r.events_per_sec,
             r.windows,
-            r.digest
+            r.digest,
+            if r.oversubscribed {
+                "  [oversubscribed]"
+            } else {
+                ""
+            }
         );
     }
     // Determinism lines for CI: identical across thread counts by
@@ -252,7 +235,7 @@ fn main() {
             .find(|r| r.scenario == "pairs64" && r.threads == 1 && r.batch == batch);
         let best = rows
             .iter()
-            .filter(|r| r.scenario == "pairs64" && r.batch == batch)
+            .filter(|r| r.scenario == "pairs64" && r.batch == batch && !r.oversubscribed)
             .max_by_key(|r| r.threads);
         if let (Some(b), Some(t)) = (base, best) {
             if t.threads > 1 {
@@ -262,13 +245,18 @@ fn main() {
                     batch,
                     t.threads,
                     b.wall_ms / t.wall_ms,
-                    sim_core::pool::max_parallelism()
+                    host_cores
                 );
             }
         }
     }
 
-    let body = json(&rows, seed);
-    std::fs::write(&out_path, &body).expect("write snapshot json");
+    let snap = Snapshot {
+        bench: "engine_throughput".into(),
+        seed,
+        host_cores,
+        rows,
+    };
+    std::fs::write(&out_path, snap.to_json()).expect("write snapshot json");
     eprintln!("wrote {out_path}");
 }

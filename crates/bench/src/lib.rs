@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod snapshot;
+
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -41,9 +41,10 @@ pub struct ClusterConfig {
     /// Coordinated gang scheduling (the paper's premise). When `false`,
     /// every noded time-slices its own processes on an unsynchronized
     /// local timer — the counterfactual that motivates gang scheduling.
-    /// Requires `BufferPolicy::StaticDivision` (without coordination no
-    /// safe moment exists to switch buffers, which is the paper's §1
-    /// argument in one assertion).
+    /// Requires an always-resident policy — `BufferPolicy::StaticDivision`
+    /// or `BufferPolicy::Demand` — because without coordination no safe
+    /// moment exists to switch buffers, which is the paper's §1 argument
+    /// in one assertion.
     pub gang_scheduling: bool,
     /// Dynamic coscheduling (paper §5, Sobalvarro et al.): in
     /// uncoordinated mode, an arriving message preempts the node in favor

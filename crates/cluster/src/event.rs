@@ -186,6 +186,13 @@ pub enum FmEvent {
         /// The process whose timer fired.
         pid: Pid,
     },
+    /// Periodic demand-window rebalance on a node (`BufferPolicy::Demand`
+    /// only): every resident process folds its observed traffic into the
+    /// EWMA and reschedules credit-window moves.
+    DemandRebalance {
+        /// The node.
+        node: usize,
+    },
 }
 
 /// The discrete events driving the world: one wrapper variant per
@@ -255,6 +262,7 @@ pub const KIND_NAMES: &[&str] = &[
     "fault_done",
     "retrans_timeout",
     "switch_retry_check",
+    "demand_rebalance",
 ];
 
 impl Event {
@@ -277,6 +285,7 @@ impl Event {
             Event::Fm(FmEvent::FaultDone { .. }) => 13,
             Event::Fm(FmEvent::RetransTimeout { .. }) => 14,
             Event::Daemon(DaemonEvent::SwitchRetryCheck { .. }) => 15,
+            Event::Fm(FmEvent::DemandRebalance { .. }) => 16,
         }
     }
 }

@@ -76,7 +76,10 @@ impl World {
         let n = self.nodes.get_mut(node).ok_or(CommError::UnknownNode)?;
         assert!(n.nic_initialized, "COMM_init_job before COMM_init_node");
         let resident = match self.cfg.fm.policy {
-            BufferPolicy::StaticDivision => true,
+            // Both always-resident splits: static gets the paper's n²
+            // division, Demand the same queue split with movable credit
+            // windows on top.
+            BufferPolicy::StaticDivision | BufferPolicy::Demand => true,
             BufferPolicy::FullBuffer => slot == n.noded.current_slot,
             // VN caching: resident while cache slots remain; later jobs
             // start in backing store and fault in on first use.

@@ -326,6 +326,25 @@ impl World {
                     // to the generic path.
                     break;
                 }
+                // Fragment f_idx + 1 always exists (the crossing fragment
+                // is never the message's last) and is forwarded promptly:
+                // this iteration's advance consumes its credit. If it can
+                // reach the receiver before this extract completes, the
+                // unbatched engine reserves its receive work first and the
+                // refill queues behind it on the single LANai processor —
+                // a schedule the fused commit below cannot reproduce. A
+                // lower bound on that arrival (forwarded the instant this
+                // fragment clears the sender's engine, against pre-commit
+                // link state) proves the refill stays ahead; on overlap or
+                // a same-instant tie, decline the crossing.
+                let wire_next = HEADER_BYTES + fragment_payload(bytes, f_idx + 1);
+                let next_arr_lb = self
+                    .net
+                    .peek_transmit(cand.injection_done + send_pp, node, dst, wire_next)
+                    .arrival;
+                if next_arr_lb <= x_end {
+                    break;
+                }
                 let refill_wire = HEADER_BYTES; // zero-payload wire size
                 let fwr = x_end.max(recv_end) + send_pp;
                 let txr = self.net.peek_transmit(fwr, dst, node, refill_wire);

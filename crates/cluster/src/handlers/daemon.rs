@@ -330,6 +330,12 @@ impl World {
         if self.cfg.reliability.enabled {
             fm.enable_reliability(self.cfg.nodes);
         }
+        if self.cfg.fm.policy == fastmsg::division::BufferPolicy::Demand {
+            // The geometry's even split seeds the windows; the ledger's
+            // capacity is the context's whole receive queue, so rebalances
+            // can grow hot channels up to full-buffer strength.
+            fm.enable_demand(geo.recv_slots);
+        }
         let proc = ProcSim {
             pid,
             job,

@@ -39,6 +39,7 @@ impl FmHandler for World {
         match ev {
             FmEvent::FaultDone { node, job } => self.on_fault_done(now, node, job, bus),
             FmEvent::RetransTimeout { node, pid } => self.on_retrans_timeout(now, node, pid, bus),
+            FmEvent::DemandRebalance { node } => self.on_demand_rebalance(now, node, bus),
         }
     }
 
@@ -175,6 +176,41 @@ impl World {
         if retransmitted {
             self.kick_send_engine(now, node, bus);
         }
+    }
+
+    /// Periodic demand-window rebalance (`BufferPolicy::Demand` only):
+    /// every process on the node folds its observed traffic into its EWMA
+    /// and schedules credit-window moves, then the node's timer re-arms.
+    /// The pass itself is free of simulated time — it is NIC-local
+    /// bookkeeping over a handful of counters, dwarfed by any real event —
+    /// so the moves take effect through the ordinary consume/refill path.
+    fn on_demand_rebalance(&mut self, now: SimTime, node: usize, bus: &mut Bus) {
+        let mut realloc = 0u64;
+        let mut migrated = 0u64;
+        for proc in self.nodes[node].apps.values_mut() {
+            let before = proc
+                .fm
+                .flow
+                .demand()
+                .map(|d| d.stats.realloc_events)
+                .unwrap_or(0);
+            if let Some(m) = proc.fm.flow.demand_rebalance() {
+                migrated += m;
+                let after = proc.fm.flow.demand().unwrap().stats.realloc_events;
+                realloc += after - before;
+            }
+        }
+        if realloc > 0 {
+            self.stats.realloc_events += realloc;
+            self.stats.credits_migrated += migrated;
+            self.trace.emit(now, Category::Fm, Some(node), || {
+                format!("demand rebalance: {realloc} ledgers changed, {migrated} credits granted")
+            });
+        }
+        bus.emit(
+            now + self.cfg.fm.demand.rebalance_interval,
+            FmEvent::DemandRebalance { node },
+        );
     }
 
     fn start_fault(&mut self, now: SimTime, node: usize, job: u32, bus: &mut Bus) {

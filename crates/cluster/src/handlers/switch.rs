@@ -69,7 +69,7 @@ impl SwitchProtocol for GangFlush {
     ) {
         if matches!(
             w.cfg.fm.policy,
-            BufferPolicy::StaticDivision | BufferPolicy::CachedEndpoints
+            BufferPolicy::StaticDivision | BufferPolicy::CachedEndpoints | BufferPolicy::Demand
         ) {
             // Every context is permanently resident: nothing to flush or
             // copy — the switch is just signals.

@@ -271,6 +271,15 @@ pub struct MultiJobCell {
     pub switches: u64,
     /// Initial credits under the full-buffer policy.
     pub credits: usize,
+    /// Frames dropped by the fault injector (0 unless `wire_loss_ppm`).
+    pub wire_losses: u64,
+    /// Go-back-N retransmissions (0 unless reliability was enabled).
+    pub retransmits: u64,
+    /// Demand allocator: rebalance passes that moved credit windows
+    /// (0 under every other policy).
+    pub realloc_events: u64,
+    /// Demand allocator: credits migrated between channels.
+    pub credits_migrated: u64,
 }
 
 /// Parameters of a Fig. 6 multi-job cell (see [`Measurement::fig6`]).
@@ -280,6 +289,7 @@ pub struct Fig6 {
     msg_bytes: u64,
     quantum: Cycles,
     duration: Cycles,
+    policy: Option<BufferPolicy>,
 }
 
 impl Measurement<Fig6> {
@@ -296,7 +306,17 @@ impl Measurement<Fig6> {
             msg_bytes,
             quantum,
             duration,
+            policy: None,
         })
+    }
+
+    /// Buffer policy for the run (default [`BufferPolicy::FullBuffer`],
+    /// the paper's buffer-switching scheme). `max_contexts` is the job
+    /// count either way, so the always-resident policies split the queues
+    /// over every job's context.
+    pub fn buffer_policy(mut self, policy: BufferPolicy) -> Self {
+        self.kind.policy = Some(policy);
+        self
     }
 
     /// Build the cluster, run the time-sliced benchmarks, and report.
@@ -306,8 +326,10 @@ impl Measurement<Fig6> {
             msg_bytes,
             quantum,
             duration,
+            policy,
         } = self.kind;
-        let mut cfg = ClusterConfig::parpar(16, jobs.max(1), BufferPolicy::FullBuffer);
+        let policy = policy.unwrap_or(BufferPolicy::FullBuffer);
+        let mut cfg = ClusterConfig::parpar(16, jobs.max(1), policy);
         cfg.quantum = quantum;
         cfg.copy = CopyStrategy::ValidOnly;
         self.apply_common(&mut cfg);
@@ -399,6 +421,10 @@ fn run_fig6_cell(
         total_mbps,
         switches: sim.world().stats.switches - switches0,
         credits,
+        wire_losses: sim.world().stats.wire_losses,
+        retransmits: sim.world().stats.retransmits,
+        realloc_events: sim.world().stats.realloc_events,
+        credits_migrated: sim.world().stats.credits_migrated,
     }
 }
 

@@ -53,6 +53,12 @@ pub struct WorldStats {
     /// Reliability layer: masterd switch-watchdog firings that found the
     /// switch still in flight and multicast a ResendProtocol.
     pub switch_retries: u64,
+    /// Demand allocator: rebalance passes that scheduled at least one
+    /// credit-window move.
+    pub realloc_events: u64,
+    /// Demand allocator: credits granted to under-served channels from
+    /// reclaimed pool space.
+    pub credits_migrated: u64,
 }
 
 impl WorldStats {

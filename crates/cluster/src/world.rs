@@ -307,19 +307,35 @@ impl Sim {
         let nodes = cfg.nodes;
         let quantum = cfg.quantum;
         if !gang {
-            assert_eq!(
-                cfg.fm.policy,
-                fastmsg::division::BufferPolicy::StaticDivision,
+            assert!(
+                matches!(
+                    cfg.fm.policy,
+                    fastmsg::division::BufferPolicy::StaticDivision
+                        | fastmsg::division::BufferPolicy::Demand
+                ),
                 "uncoordinated scheduling cannot switch buffers: without gang \
                  scheduling there is no moment when all communication partners \
-                 are dormant (paper §1)"
+                 are dormant (paper §1) — only the always-resident policies \
+                 (StaticDivision, Demand) work"
             );
         }
+        let demand = cfg.fm.policy == fastmsg::division::BufferPolicy::Demand;
+        let rebalance_interval = cfg.fm.demand.rebalance_interval;
         let mut engine = Engine::new(World::new(cfg));
         engine.event_limit = 2_000_000_000;
         engine.set_event_kinds(crate::event::KIND_NAMES, Event::kind_index);
         if auto && gang {
             engine.schedule_at(SimTime::ZERO + quantum, DaemonEvent::QuantumExpired.into());
+        }
+        if demand {
+            // Each node rebalances its processes' credit windows on a fixed
+            // period; the handler re-arms its own timer.
+            for node in 0..nodes {
+                engine.schedule_at(
+                    SimTime::ZERO + rebalance_interval,
+                    crate::event::FmEvent::DemandRebalance { node }.into(),
+                );
+            }
         }
         if auto && !gang {
             // Each node's scheduler free-runs with its own phase: spread

@@ -46,6 +46,28 @@ impl Default for RelConfig {
     }
 }
 
+/// Knobs for the demand-driven credit allocator
+/// ([`BufferPolicy::Demand`]); ignored under every other policy.
+#[derive(Debug, Clone)]
+pub struct DemandConfig {
+    /// How often each node re-runs the window rebalance over its resident
+    /// processes. Shorter reacts faster to traffic shifts; longer lets the
+    /// EWMA integrate more evidence per move.
+    pub rebalance_interval: Cycles,
+}
+
+impl Default for DemandConfig {
+    fn default() -> Self {
+        DemandConfig {
+            // 5 ms at the 200 MHz host clock: an order of magnitude under
+            // typical quanta (30 ms – 1 s), so windows adapt within a
+            // scheduling round, yet thousands of packets per channel can
+            // land between moves.
+            rebalance_interval: Cycles::from_ms(5),
+        }
+    }
+}
+
 /// Configuration of the FM installation on a cluster.
 #[derive(Debug, Clone)]
 pub struct FmConfig {
@@ -67,6 +89,8 @@ pub struct FmConfig {
     pub policy: BufferPolicy,
     /// Credit rounding mode.
     pub rounding: CreditRounding,
+    /// Demand-allocator knobs (`policy == Demand` only).
+    pub demand: DemandConfig,
 }
 
 impl FmConfig {
@@ -82,6 +106,7 @@ impl FmConfig {
             recv_region_bytes: 1024 * 1024,
             policy,
             rounding: CreditRounding::Floor,
+            demand: DemandConfig::default(),
         }
     }
 
@@ -97,11 +122,14 @@ impl FmConfig {
     }
 
     /// NIC contexts that must be resident simultaneously: all of them under
-    /// static division, one under the buffer-switching scheme, up to the
-    /// cache size under virtual-networks endpoint caching.
+    /// static division and the demand allocator (both split the queues
+    /// up front), one under the buffer-switching scheme, up to the cache
+    /// size under virtual-networks endpoint caching.
     pub fn resident_contexts(&self) -> usize {
         match self.policy {
-            BufferPolicy::StaticDivision | BufferPolicy::CachedEndpoints => self.max_contexts,
+            BufferPolicy::StaticDivision | BufferPolicy::CachedEndpoints | BufferPolicy::Demand => {
+                self.max_contexts
+            }
             BufferPolicy::FullBuffer => 1,
         }
     }

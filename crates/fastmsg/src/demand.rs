@@ -1,0 +1,318 @@
+//! Demand-driven credit windows
+//! ([`BufferPolicy::Demand`](crate::division::BufferPolicy::Demand)).
+//!
+//! The paper's two endpoints are both losers somewhere: static division
+//! collapses as `n²` (Fig. 5) while the full-buffer switch only stays live
+//! under strict gang scheduling. Brodsky/Pedersen/Wagner frame the middle
+//! ground: compute per-channel buffer assignments from observed traffic.
+//! This module is that allocator, built on the credit machinery of
+//! [`flow`](crate::flow) so a window change is just a different number of
+//! credits returned on the wire — no new packet kinds, no coordination.
+//!
+//! Each receiving process owns a ledger over its `recv_slots` receive-queue
+//! share: a current `window` per peer host, a free `pool`, and per-peer
+//! pending adjustments. The conservation invariant
+//!
+//! ```text
+//! Σ window[peer] + Σ pending_grant[peer] + pool  =  capacity  (constant)
+//! ```
+//!
+//! bounds the credits ever outstanding by the context's own receive queue,
+//! so Demand can never use more memory than the full-buffer scheme.
+//!
+//! Window changes apply lazily, one consumed packet at a time:
+//!
+//! * **shrink** — withhold the credit of one consumed packet (the consume
+//!   is not counted toward the refill, so the sender never gets it back);
+//! * **grow** — return extra credits from the pool alongside a normal
+//!   refill or piggyback.
+//!
+//! Because [`rebalance`](DemandWindows::rebalance) never sets a target
+//! below 1, a shrink never takes a channel's last credit: every live
+//! channel keeps at least one credit circulating, and a 1-credit window
+//! refills on every consumed packet (`low_water = 0`). That is the
+//! deadlock-freedom floor the proptest harness in `tests/deadlock.rs`
+//! exercises under adversarial schedules.
+
+/// Counters for one process's demand allocator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DemandStats {
+    /// Rebalance passes that scheduled at least one window change.
+    pub realloc_events: u64,
+    /// Credits granted to under-served channels from the pool.
+    pub credits_migrated: u64,
+}
+
+/// Per-process demand ledger: current windows, pending adjustments, and
+/// the traffic EWMA driving the next rebalance.
+#[derive(Debug, Clone)]
+pub struct DemandWindows {
+    me: usize,
+    /// Current credit window granted to each peer host (0 for self).
+    window: Vec<usize>,
+    /// Credits to withhold from future refills to that peer's sender.
+    pending_shrink: Vec<usize>,
+    /// Credits reserved from the pool, handed out with the next refill.
+    pending_grant: Vec<usize>,
+    /// Unallocated credits.
+    pool: usize,
+    /// Packets consumed per peer since the last rebalance.
+    since: Vec<u64>,
+    /// Exponentially-weighted traffic average per peer (integer halving).
+    ewma: Vec<u64>,
+    /// Counters.
+    pub stats: DemandStats,
+}
+
+impl DemandWindows {
+    /// Ledger for a process on host `me` among `hosts`, starting every
+    /// peer channel at `w0` credits over a receive queue of `cap` slots.
+    ///
+    /// Capacity is `max(cap, (hosts-1)·w0)`: when the geometry's initial
+    /// windows already overcommit the queue (tiny queues under `Ceil`
+    /// rounding), the ledger honours them and simply has an empty pool.
+    pub fn new(me: usize, hosts: usize, w0: usize, cap: usize) -> Self {
+        assert!(w0 >= 1, "every live channel needs at least one credit");
+        let window: Vec<usize> = (0..hosts).map(|h| if h == me { 0 } else { w0 }).collect();
+        let committed: usize = window.iter().sum();
+        DemandWindows {
+            me,
+            window,
+            pending_shrink: vec![0; hosts],
+            pending_grant: vec![0; hosts],
+            pool: cap.saturating_sub(committed),
+            since: vec![0; hosts],
+            ewma: vec![0; hosts],
+            stats: DemandStats::default(),
+        }
+    }
+
+    /// Current window toward `peer`'s sender.
+    pub fn window(&self, peer: usize) -> usize {
+        self.window[peer]
+    }
+
+    /// Credits scheduled to be withheld from `peer`'s refills.
+    pub fn pending_shrink(&self, peer: usize) -> usize {
+        self.pending_shrink[peer]
+    }
+
+    /// Credits reserved for `peer`'s next refill.
+    pub fn pending_grant(&self, peer: usize) -> usize {
+        self.pending_grant[peer]
+    }
+
+    /// Unallocated credits.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// Total credits the ledger administers — constant over its lifetime.
+    pub fn capacity(&self) -> usize {
+        self.window.iter().sum::<usize>() + self.pending_grant.iter().sum::<usize>() + self.pool
+    }
+
+    /// Account one consumed packet from `peer` and apply any pending
+    /// window adjustment. Returns `(counted, grant)`: `counted` is 0 when
+    /// the credit was withheld (window shrunk by one) and 1 otherwise;
+    /// `grant` is the number of extra pool credits released to the sender
+    /// alongside this consume's refill. Normally driven by
+    /// [`FlowControl`](crate::flow::FlowControl); public so harnesses can
+    /// exercise the ledger in isolation.
+    pub fn advance(&mut self, peer: usize) -> (usize, usize) {
+        self.since[peer] += 1;
+        let counted = if self.pending_shrink[peer] > 0 {
+            debug_assert!(self.window[peer] > 1, "shrink would kill the channel");
+            self.pending_shrink[peer] -= 1;
+            self.window[peer] -= 1;
+            self.pool += 1;
+            0
+        } else {
+            1
+        };
+        let grant = std::mem::take(&mut self.pending_grant[peer]);
+        self.window[peer] += grant;
+        (counted, grant)
+    }
+
+    /// Recompute targets from observed traffic and schedule window moves.
+    ///
+    /// Greedy heuristic: every peer channel keeps a floor of 1 credit;
+    /// the surplus is split proportionally to the traffic EWMA (largest
+    /// remainder, ties to the lower host index). Channels above target get
+    /// a pending shrink, channels below get a grant from whatever the pool
+    /// currently holds — grants are only ever made from credits already
+    /// reclaimed, so the conservation invariant is unconditional.
+    ///
+    /// Returns the number of credits granted (0 when traffic was too
+    /// uniform — or absent — to move anything).
+    pub fn rebalance(&mut self) -> u64 {
+        let hosts = self.window.len();
+        for p in 0..hosts {
+            self.ewma[p] = self.ewma[p] / 2 + std::mem::take(&mut self.since[p]);
+        }
+        let total_ewma: u64 = self.ewma.iter().sum();
+        if total_ewma == 0 {
+            return 0; // no traffic yet: leave the initial split alone
+        }
+        // Cancel pending ops first so a rebalance is idempotent: grants go
+        // back to the pool (they were reserved, never sent), shrinks are
+        // simply forgotten.
+        for p in 0..hosts {
+            self.pool += std::mem::take(&mut self.pending_grant[p]);
+            self.pending_shrink[p] = 0;
+        }
+        let peers = hosts - 1;
+        let capacity = self.window.iter().sum::<usize>() + self.pool;
+        let surplus = capacity.saturating_sub(peers) as u64;
+        // Largest-remainder proportional split of the surplus.
+        let mut targets = vec![0usize; hosts];
+        let mut rema: Vec<(u64, usize)> = Vec::with_capacity(peers);
+        let mut handed = 0u64;
+        for (p, target) in targets.iter_mut().enumerate() {
+            if p == self.me {
+                continue;
+            }
+            let exact = surplus * self.ewma[p];
+            let share = exact / total_ewma;
+            *target = 1 + share as usize;
+            handed += share;
+            rema.push((exact % total_ewma, p));
+        }
+        // Ties break toward the lower host index for determinism.
+        rema.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, p) in rema.iter().take((surplus - handed) as usize) {
+            targets[p] += 1;
+        }
+        let mut migrated = 0u64;
+        let mut changed = false;
+        for (p, &target) in targets.iter().enumerate() {
+            if p == self.me {
+                continue;
+            }
+            if target < self.window[p] {
+                self.pending_shrink[p] = self.window[p] - target;
+                changed = true;
+            } else if target > self.window[p] {
+                let want = target - self.window[p];
+                let grant = want.min(self.pool);
+                if grant > 0 {
+                    self.pool -= grant;
+                    self.pending_grant[p] = grant;
+                    migrated += grant as u64;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.stats.realloc_events += 1;
+            self.stats.credits_migrated += migrated;
+        }
+        migrated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_through_adjustments() {
+        let mut d = DemandWindows::new(0, 4, 5, 20);
+        let cap = d.capacity();
+        assert_eq!(cap, 20); // 3 peers * 5 + pool 5
+                             // Skewed traffic: host 1 hot, host 2 cold, host 3 idle.
+        for _ in 0..40 {
+            d.advance(1);
+        }
+        for _ in 0..2 {
+            d.advance(2);
+        }
+        d.rebalance();
+        assert_eq!(d.capacity(), cap);
+        // Apply every pending op through traffic.
+        for _ in 0..20 {
+            d.advance(1);
+            d.advance(2);
+        }
+        assert_eq!(d.capacity(), cap);
+        // The hot channel grew, and no channel fell below the floor.
+        assert!(d.window(1) > 5, "hot channel should grow: {}", d.window(1));
+        for p in 1..4 {
+            assert!(d.window(p) >= 1);
+        }
+    }
+
+    #[test]
+    fn no_traffic_means_no_moves() {
+        let mut d = DemandWindows::new(0, 4, 5, 20);
+        assert_eq!(d.rebalance(), 0);
+        assert_eq!(d.window(1), 5);
+        assert_eq!(d.pending_shrink(1), 0);
+        assert_eq!(d.stats.realloc_events, 0);
+    }
+
+    #[test]
+    fn shrink_never_kills_a_channel() {
+        let mut d = DemandWindows::new(0, 3, 4, 8);
+        // All traffic on host 1: host 2's window should head to the floor.
+        for _ in 0..100 {
+            d.advance(1);
+        }
+        d.rebalance();
+        // Apply host 2's shrinks.
+        for _ in 0..10 {
+            d.advance(2);
+        }
+        assert_eq!(d.window(2), 1);
+        assert_eq!(d.pending_shrink(2), 0);
+    }
+
+    #[test]
+    fn grants_come_only_from_the_pool() {
+        // Zero pool: nothing to grant even under skew.
+        let mut d = DemandWindows::new(0, 3, 4, 8);
+        assert_eq!(d.pool(), 0);
+        for _ in 0..50 {
+            d.advance(1);
+        }
+        assert_eq!(d.rebalance(), 0);
+        // After host 2's shrinks land, the next rebalance can migrate.
+        for _ in 0..10 {
+            d.advance(2);
+        }
+        assert!(d.pool() > 0);
+        for _ in 0..50 {
+            d.advance(1);
+        }
+        assert!(d.rebalance() > 0);
+        assert!(d.window(1) + d.pending_grant(1) > 4);
+    }
+
+    #[test]
+    fn overcommitted_geometry_gets_empty_pool() {
+        let d = DemandWindows::new(1, 5, 2, 3);
+        assert_eq!(d.pool(), 0);
+        assert_eq!(d.capacity(), 8); // honours the 4 windows of 2
+    }
+
+    #[test]
+    fn repeated_rebalances_conserve_capacity_and_floors() {
+        let mut d = DemandWindows::new(0, 4, 5, 20);
+        let cap = d.capacity();
+        for round in 0..6 {
+            for _ in 0..(10 * (round % 3)) {
+                d.advance(1);
+            }
+            for _ in 0..3 {
+                d.advance(2);
+            }
+            d.rebalance();
+            assert_eq!(d.capacity(), cap, "round {round}");
+            for p in 1..4 {
+                assert!(d.window(p) >= 1, "round {round} peer {p}");
+                assert!(d.pending_shrink(p) < d.window(p), "round {round} peer {p}");
+            }
+        }
+    }
+}

@@ -61,6 +61,15 @@ pub enum BufferPolicy {
     /// on demand — no linkage to process scheduling. Credits assume only
     /// the co-scheduled job's `p` peers send (as under gang rotation).
     CachedEndpoints,
+    /// Demand-driven (after Brodsky/Pedersen/Wagner): queues are split
+    /// statically like stock FM, but the per-channel credit windows are
+    /// managed online by the [`demand`](crate::demand) allocator — every
+    /// channel keeps a guaranteed floor of one credit and the rest of the
+    /// context's receive queue migrates toward observed traffic. Needs no
+    /// buffer switch, so it stays live without gang scheduling, yet at
+    /// high context counts its floor dodges static division's `n²`
+    /// collapse.
+    Demand,
 }
 
 /// The queue geometry and credit allowance for one context.
@@ -133,6 +142,22 @@ impl BufferPolicy {
                 let send_slots = send_total / contexts;
                 let recv_slots = recv_total / contexts;
                 let credits = rounding.apply(recv_slots as f64 / hosts as f64);
+                ContextGeometry {
+                    send_slots,
+                    recv_slots,
+                    credits,
+                }
+            }
+            BufferPolicy::Demand => {
+                let send_slots = send_total / contexts;
+                let recv_slots = recv_total / contexts;
+                // Initial window: an even per-host share (as under endpoint
+                // caching), clamped so every channel starts live (the
+                // allocator's ≥1 floor) and so the p−1 possible senders
+                // never overcommit this context's receive queue.
+                let peers = hosts.saturating_sub(1).max(1);
+                let even = rounding.apply(recv_slots as f64 / hosts as f64);
+                let credits = even.clamp(1, (recv_slots / peers).max(1));
                 ContextGeometry {
                     send_slots,
                     recv_slots,
@@ -213,5 +238,142 @@ mod tests {
         let g = BufferPolicy::StaticDivision.geometry(SEND, RECV, 1, 1, CreditRounding::Floor);
         assert_eq!(g.send_slots, SEND);
         assert_eq!(g.credits, RECV);
+    }
+
+    #[test]
+    fn demand_initial_windows_stay_live_past_the_cutoff() {
+        // Same queue split as static division, but the per-channel floor
+        // keeps every window alive where C0 = Br/(n²·p) hits zero.
+        let expect = [(1, 41), (2, 20), (4, 10), (7, 5), (8, 5)];
+        for (n, c) in expect {
+            let g = BufferPolicy::Demand.geometry(SEND, RECV, n, P, CreditRounding::Floor);
+            assert_eq!(g.credits, c, "n={n}");
+            assert_eq!(g.send_slots, SEND / n);
+            assert_eq!(g.recv_slots, RECV / n);
+        }
+        let dead = BufferPolicy::StaticDivision.geometry(SEND, RECV, 8, P, CreditRounding::Floor);
+        assert_eq!(dead.credits, 0);
+    }
+}
+
+#[cfg(test)]
+mod geometry_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// All four policies, drawn by index.
+    pub(crate) fn any_policy() -> impl Strategy<Value = BufferPolicy> {
+        (0usize..4).prop_map(|i| {
+            [
+                BufferPolicy::StaticDivision,
+                BufferPolicy::FullBuffer,
+                BufferPolicy::CachedEndpoints,
+                BufferPolicy::Demand,
+            ][i]
+        })
+    }
+
+    fn any_rounding() -> impl Strategy<Value = CreditRounding> {
+        (0usize..3).prop_map(|i| {
+            [
+                CreditRounding::Floor,
+                CreditRounding::Round,
+                CreditRounding::Ceil,
+            ][i]
+        })
+    }
+
+    /// The sender set whose credits all draw on the same receive queue,
+    /// per policy: all n·p processes under static division, the running
+    /// job's p peers under the buffer switch and endpoint caching, and
+    /// the p−1 other hosts under demand windows.
+    fn worst_case_senders(policy: BufferPolicy, n: usize, p: usize) -> usize {
+        match policy {
+            BufferPolicy::StaticDivision => n * p,
+            BufferPolicy::FullBuffer | BufferPolicy::CachedEndpoints => p,
+            BufferPolicy::Demand => p - 1,
+        }
+    }
+
+    proptest! {
+        /// The queue split never overcommits physical memory: every
+        /// context's share fits, and the split policies fit n of them.
+        #[test]
+        fn queue_split_fits_in_memory(
+            policy in any_policy(),
+            rounding in any_rounding(),
+            n in 1usize..9,
+            p in 2usize..33,
+            send in 16usize..513,
+            recv in 16usize..1025,
+        ) {
+            let g = policy.geometry(send, recv, n, p, rounding);
+            prop_assert!(g.send_slots <= send);
+            prop_assert!(g.recv_slots <= recv);
+            if !matches!(policy, BufferPolicy::FullBuffer) {
+                prop_assert!(g.send_slots * n <= send);
+                prop_assert!(g.recv_slots * n <= recv);
+            }
+        }
+
+        /// Under conservative (`Floor`) rounding the worst-case sender set
+        /// can use every credit it holds without overflowing the receive
+        /// queue backing them.
+        #[test]
+        fn floor_credits_never_overcommit(
+            policy in any_policy(),
+            n in 1usize..9,
+            p in 2usize..33,
+            send in 16usize..513,
+            recv in 16usize..1025,
+        ) {
+            let g = policy.geometry(send, recv, n, p, CreditRounding::Floor);
+            let senders = worst_case_senders(policy, n, p);
+            if policy == BufferPolicy::Demand && g.recv_slots < senders {
+                // Degenerate: a queue smaller than the sender set. The
+                // ≥1-credit floor overcommits by design and the demand
+                // ledger honours it with an empty pool.
+                prop_assert_eq!(g.credits, 1);
+            } else {
+                prop_assert!(
+                    g.credits * senders <= g.recv_slots,
+                    "{} * {} > {}", g.credits, senders, g.recv_slots
+                );
+            }
+        }
+
+        /// Liberal roundings (and the demand floor) overcommit by less
+        /// than one packet per sender — the price of keeping a channel
+        /// alive at the cutoff.
+        #[test]
+        fn rounding_overcommit_is_bounded(
+            policy in any_policy(),
+            rounding in any_rounding(),
+            n in 1usize..9,
+            p in 2usize..33,
+            send in 16usize..513,
+            recv in 16usize..1025,
+        ) {
+            let g = policy.geometry(send, recv, n, p, rounding);
+            let senders = worst_case_senders(policy, n, p);
+            prop_assert!(g.credits * senders <= g.recv_slots + senders);
+        }
+
+        /// Liveness floors: a demand channel always starts with a credit,
+        /// and `Ceil` keeps every policy's channels alive while the queue
+        /// holds any packet at all.
+        #[test]
+        fn channel_liveness_floors(
+            policy in any_policy(),
+            n in 1usize..9,
+            p in 2usize..33,
+            send in 16usize..513,
+            recv in 16usize..1025,
+        ) {
+            let demand = BufferPolicy::Demand.geometry(send, recv, n, p, CreditRounding::Floor);
+            prop_assert!(demand.credits >= 1);
+            let ceil = policy.geometry(send, recv, n, p, CreditRounding::Ceil);
+            prop_assert!(ceil.credits >= 1);
+        }
     }
 }

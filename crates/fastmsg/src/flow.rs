@@ -12,6 +12,14 @@
 //! asserted tight — credits never exceed `C0`, never go negative — and the
 //! integration tests use those assertions to prove the buffer-switch
 //! protocol loses no packets.
+//!
+//! Under [`BufferPolicy::Demand`](crate::division::BufferPolicy) the fixed
+//! per-peer window `C0` is replaced by a [`DemandWindows`] ledger: the same
+//! consume/refill cycle runs, but each refill may withhold a credit (window
+//! shrink) or carry extra pool credits (window grow). See
+//! [`demand`](crate::demand) for the allocator.
+
+use crate::demand::DemandWindows;
 
 /// Per-peer credit accounting for one process.
 ///
@@ -38,6 +46,10 @@ pub struct FlowControl {
     send_credits: Vec<Option<usize>>,
     /// Packets consumed from each peer since the last refill returned.
     consumed: Vec<usize>,
+    /// Per-peer demand windows (`BufferPolicy::Demand` only): when set,
+    /// the receive-side accounting uses `demand.window(peer)` in place of
+    /// the fixed `c0`, and refills carry window adjustments.
+    demand: Option<Box<DemandWindows>>,
     /// Lifetime counters.
     pub stats: FlowStats,
 }
@@ -70,8 +82,38 @@ impl FlowControl {
             low_water: c0 / 2,
             send_credits,
             consumed: vec![0; hosts],
+            demand: None,
             stats: FlowStats::default(),
         }
+    }
+
+    /// Switch this process to demand-driven windows over a `cap`-slot
+    /// receive queue. The current `C0` becomes every channel's initial
+    /// window; from here on the [`DemandWindows`] ledger governs the
+    /// receive-side accounting. `C0` itself is raised to `cap` — the only
+    /// remaining role of the scalar is the over-refill tripwire, and a
+    /// grown window may legitimately exceed the old uniform share.
+    pub fn enable_demand(&mut self, cap: usize) {
+        assert!(self.demand.is_none(), "demand windows already enabled");
+        let me = self
+            .send_credits
+            .iter()
+            .position(|c| c.is_none())
+            .expect("flow control always has a self entry");
+        let hosts = self.send_credits.len();
+        self.demand = Some(Box::new(DemandWindows::new(me, hosts, self.c0, cap)));
+        self.c0 = cap;
+    }
+
+    /// The demand ledger, when [`FlowControl::enable_demand`] was called.
+    pub fn demand(&self) -> Option<&DemandWindows> {
+        self.demand.as_deref()
+    }
+
+    /// Run one rebalance pass on the demand ledger. Returns the credits
+    /// migrated, or `None` when demand windows are not enabled.
+    pub fn demand_rebalance(&mut self) -> Option<u64> {
+        self.demand.as_deref_mut().map(DemandWindows::rebalance)
     }
 
     /// The initial/maximal credit count `C0`.
@@ -125,16 +167,50 @@ impl FlowControl {
     /// low-water mark and a *dedicated* refill message should be sent; the
     /// returned count is the consumed total, which this call resets.
     pub fn on_packet_consumed(&mut self, peer: usize) -> Option<usize> {
-        self.consumed[peer] += 1;
-        // We know the peer started from C0 toward us; its remaining credits
-        // are C0 - consumed (unacknowledged).
-        let remaining = self.c0 - self.consumed[peer].min(self.c0);
-        if remaining <= self.low_water {
+        self.on_packet_consumed_counted(peer).0
+    }
+
+    /// [`FlowControl::on_packet_consumed`], additionally reporting how
+    /// many cumulative credit units this consume returns to the sender —
+    /// always 1 without demand windows; 0 while a window shrink withholds
+    /// the credit, `1 + grant` when pool credits ride along. The
+    /// reliability layer feeds this into its lifetime `credits_total`
+    /// tally so window moves survive packet loss.
+    pub fn on_packet_consumed_counted(&mut self, peer: usize) -> (Option<usize>, u64) {
+        let units = match self.demand.as_deref_mut() {
+            Some(d) => {
+                let (counted, grant) = d.advance(peer);
+                self.consumed[peer] += counted + grant;
+                (counted + grant) as u64
+            }
+            None => {
+                self.consumed[peer] += 1;
+                1
+            }
+        };
+        // We know the peer started from the window toward us; its remaining
+        // credits are window - consumed (unacknowledged).
+        let (window, low_water) = self.recv_window(peer);
+        let remaining = window - self.consumed[peer].min(window);
+        let due = if remaining <= low_water {
             let k = std::mem::take(&mut self.consumed[peer]);
             self.stats.refill_msgs += 1;
             Some(k)
         } else {
             None
+        };
+        (due, units)
+    }
+
+    /// The window the sender on `peer` currently holds toward us, and its
+    /// low-water mark.
+    fn recv_window(&self, peer: usize) -> (usize, usize) {
+        match self.demand.as_deref() {
+            Some(d) => {
+                let w = d.window(peer);
+                (w, w / 2)
+            }
+            None => (self.c0, self.low_water),
         }
     }
 
@@ -143,9 +219,33 @@ impl FlowControl {
     /// (i.e. consecutive calls still returning `None`).
     ///
     /// The burst fast path uses this to bound a fused packet train so that
-    /// no fused extract crosses the low-water mark.
+    /// no fused extract crosses the low-water mark. Under demand windows
+    /// the count simulates the pending shrink/grant schedule so the
+    /// prediction stays exact while a window is mid-move.
     pub fn packets_until_refill(&self, peer: usize) -> usize {
-        (self.c0 - self.low_water).saturating_sub(self.consumed[peer] + 1)
+        let Some(d) = self.demand.as_deref() else {
+            return (self.c0 - self.low_water).saturating_sub(self.consumed[peer] + 1);
+        };
+        let mut w = d.window(peer);
+        let mut c = self.consumed[peer];
+        let mut shrink = d.pending_shrink(peer);
+        let mut grant = d.pending_grant(peer);
+        let mut safe = 0;
+        loop {
+            if shrink > 0 {
+                shrink -= 1;
+                w -= 1;
+            } else {
+                c += 1;
+            }
+            c += grant;
+            w += grant;
+            grant = 0;
+            if w - c.min(w) <= w / 2 {
+                return safe;
+            }
+            safe += 1;
+        }
     }
 
     /// Take the consumed count for `peer` to piggyback on a data packet
@@ -268,5 +368,65 @@ mod tests {
     fn self_credits_panic() {
         let f = FlowControl::new(2, 4, 2);
         f.credits(2);
+    }
+
+    #[test]
+    fn demand_single_credit_window_refills_every_packet() {
+        let mut f = FlowControl::new(1, 2, 1);
+        f.enable_demand(4);
+        assert_eq!(f.on_packet_consumed(0), Some(1));
+        assert_eq!(f.on_packet_consumed(0), Some(1));
+    }
+
+    #[test]
+    fn demand_shrink_withholds_credits_from_refills() {
+        // Two peers, w0 = 4 over an 8-slot queue (empty pool). All traffic
+        // on peer 0: rebalance schedules a shrink on peer 1, whose refills
+        // then return fewer credits than were consumed until the window
+        // reaches the 1-credit floor.
+        let mut f = FlowControl::new(2, 3, 4);
+        f.enable_demand(8);
+        for _ in 0..16 {
+            f.on_packet_consumed(0);
+        }
+        f.demand_rebalance();
+        assert!(f.demand().unwrap().pending_shrink(1) > 0);
+        let (mut consumed, mut returned) = (0usize, 0usize);
+        while returned == 0 {
+            consumed += 1;
+            if let Some(k) = f.on_packet_consumed(1) {
+                returned += k;
+            }
+            assert!(consumed < 100, "refill never came due");
+        }
+        assert!(returned < consumed, "{returned} vs {consumed}");
+        assert_eq!(f.demand().unwrap().window(1), 1);
+    }
+
+    #[test]
+    fn demand_packets_until_refill_matches_consume_path() {
+        // Drive skewed traffic through rebalances and cross-check the
+        // burst-path prediction against the real consume path while
+        // shrink/grant schedules are live.
+        for w0 in 1..=6usize {
+            let mut f = FlowControl::new(2, 3, w0);
+            f.enable_demand(4 * w0);
+            for round in 0..8usize {
+                for _ in 0..(3 * round) {
+                    f.on_packet_consumed(0);
+                }
+                if round % 3 == 0 {
+                    f.on_packet_consumed(1);
+                }
+                f.demand_rebalance();
+                for peer in [0usize, 1] {
+                    let safe = f.packets_until_refill(peer);
+                    for i in 0..=safe {
+                        let due = f.on_packet_consumed(peer).is_some();
+                        assert_eq!(due, i == safe, "w0={w0} round={round} peer={peer} i={i}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -10,6 +10,11 @@
 //! * [`BufferPolicy::FullBuffer`] — the gang-scheduled buffer-switching
 //!   scheme, credits `C0 = Br/p` (paper Fig. 6).
 //!
+//! Two post-paper policies round out the design space:
+//! [`BufferPolicy::CachedEndpoints`] (virtual-networks endpoint caching,
+//! §5's related work) and [`BufferPolicy::Demand`] (online per-channel
+//! credit reallocation, see [`demand`]).
+//!
 //! The crate holds protocol state machines and cost arithmetic only; the
 //! `cluster` crate turns them into discrete events on the simulated
 //! ParPar.
@@ -18,6 +23,7 @@
 
 pub mod config;
 pub mod costs;
+pub mod demand;
 pub mod division;
 pub mod flow;
 pub mod init;
@@ -25,8 +31,9 @@ pub mod packet;
 pub mod proc;
 pub mod rel;
 
-pub use config::{FmConfig, RelConfig};
+pub use config::{DemandConfig, FmConfig, RelConfig};
 pub use costs::FmCosts;
+pub use demand::{DemandStats, DemandWindows};
 pub use division::{BufferPolicy, ContextGeometry, CreditRounding};
 pub use flow::{FlowControl, FlowStats};
 pub use init::{InitMachine, InitMode, InitStep};

@@ -96,6 +96,15 @@ impl FmProcess {
         self.rel = Some(GoBackN::new(self.nprocs(), hosts));
     }
 
+    /// Switch this process to demand-driven credit windows over its
+    /// `recv_slots`-slot receive queue (`BufferPolicy::Demand`). Must be
+    /// called before any traffic flows — both sides must agree on the
+    /// initial windows.
+    pub fn enable_demand(&mut self, recv_slots: usize) {
+        assert_eq!(self.stats.packets_sent + self.stats.packets_received, 0);
+        self.flow.enable_demand(recv_slots);
+    }
+
     /// Number of processes in the job.
     pub fn nprocs(&self) -> usize {
         self.placement.len()
@@ -267,18 +276,21 @@ impl FmProcess {
             };
         }
         self.recv_expect[pkt.src_rank] = pkt.seq + 1;
-        rel.note_consumed(pkt.src_host);
         self.stats.packets_received += 1;
         self.stats.bytes_received += pkt.payload as u64;
         if pkt.last_fragment {
             self.stats.msgs_received += 1;
         }
         // The delta counter still decides *when* a dedicated refill goes
-        // out; its value is superseded by the cumulative fields.
-        let refill_due = self
-            .flow
-            .on_packet_consumed(pkt.src_host)
-            .map(|k| (pkt.src_host, k));
+        // out; its value is superseded by the cumulative fields. Under
+        // demand windows the consume may return 0 units (a shrink
+        // withholding the credit) or 1+g (a grant riding along) — the
+        // cumulative tally must advance by exactly that amount so window
+        // moves survive lost or duplicated refills.
+        let (due, units) = self.flow.on_packet_consumed_counted(pkt.src_host);
+        let rel = self.rel.as_mut().expect("reliable path");
+        rel.add_consumed(pkt.src_host, units);
+        let refill_due = due.map(|k| (pkt.src_host, k));
         Extract {
             message_complete: pkt.last_fragment,
             refill_due,

@@ -116,7 +116,17 @@ impl GoBackN {
     /// Count one in-order packet consumed from `peer_host` and return the
     /// new lifetime total (the `credits_total` value to send back).
     pub fn note_consumed(&mut self, peer_host: usize) -> u64 {
-        self.consumed_total[peer_host] += 1;
+        self.add_consumed(peer_host, 1)
+    }
+
+    /// Advance the lifetime consumed tally for `peer_host` by `units` and
+    /// return the new total. Demand windows use this to make a window move
+    /// loss-proof: a withheld credit adds 0 units (the sender's cumulative
+    /// view never sees it), a grant adds extra units on top of the
+    /// consume's own — either way the tally stays monotone, so duplicated
+    /// or retransmitted refills remain harmless.
+    pub fn add_consumed(&mut self, peer_host: usize, units: u64) -> u64 {
+        self.consumed_total[peer_host] += units;
         self.consumed_total[peer_host]
     }
 

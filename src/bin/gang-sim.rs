@@ -63,7 +63,9 @@ fn parse_args() -> Args {
                 a.policy = match val().as_str() {
                     "full" => BufferPolicy::FullBuffer,
                     "static" => BufferPolicy::StaticDivision,
-                    other => panic!("unknown policy {other} (full|static)"),
+                    "cached" => BufferPolicy::CachedEndpoints,
+                    "demand" => BufferPolicy::Demand,
+                    other => panic!("unknown policy {other} (full|static|cached|demand)"),
                 }
             }
             "--copy" => {
@@ -86,7 +88,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --nodes N --jobs K --workload p2p|alltoall|barrier|allreduce|ring \
-                     --msg-bytes B --quantum-ms Q --duration-ms D --policy full|static \
+                     --msg-bytes B --quantum-ms Q --duration-ms D \
+                     --policy full|static|cached|demand \
                      --copy valid|full --strategy flush|share|ack --seed S"
                 );
                 std::process::exit(0);
@@ -140,7 +143,10 @@ fn main() {
     cfg.copy = a.copy;
     cfg.strategy = a.strategy;
     cfg.seed = a.seed;
-    if a.policy == BufferPolicy::StaticDivision {
+    if matches!(
+        a.policy,
+        BufferPolicy::StaticDivision | BufferPolicy::Demand
+    ) {
         cfg.fm.max_contexts = a.jobs.max(1);
     }
     let geo = cfg.fm.geometry();

@@ -1,0 +1,61 @@
+//! The deprecated free-function measure API is a pure veneer: each
+//! function must produce results bit-identical to the `Measurement`
+//! builder chain its deprecation note names. Compared via `Debug`
+//! rendering, which round-trips every field including the f64s.
+
+#![allow(deprecated)]
+
+use cluster::measure::{
+    fig5_cell, fig5_cell_batch, fig6_cell, fig6_cell_batch, switch_overhead_run_batch, Measurement,
+};
+use gang_comm::strategy::SwitchStrategy;
+use gang_comm::switcher::CopyStrategy;
+use sim_core::time::Cycles;
+
+#[test]
+fn fig5_free_function_matches_builder() {
+    let free = fig5_cell(2, 2048, 40, 5);
+    let built = Measurement::fig5(2, 2048, 40).seed(5).run();
+    assert_eq!(format!("{free:?}"), format!("{built:?}"));
+}
+
+#[test]
+fn fig5_batch_free_function_matches_builder() {
+    let free = fig5_cell_batch(2, 2048, 40, 5, 8);
+    let built = Measurement::fig5(2, 2048, 40).seed(5).batch(8).run();
+    assert_eq!(format!("{free:?}"), format!("{built:?}"));
+}
+
+#[test]
+fn fig6_free_function_matches_builder() {
+    let (q, d) = (Cycles::from_ms(20), Cycles::from_ms(60));
+    let free = fig6_cell(2, 2048, q, d, 11);
+    let built = Measurement::fig6(2, 2048, q, d).seed(11).run();
+    assert_eq!(format!("{free:?}"), format!("{built:?}"));
+}
+
+#[test]
+fn fig6_batch_free_function_matches_builder() {
+    let (q, d) = (Cycles::from_ms(20), Cycles::from_ms(60));
+    let free = fig6_cell_batch(2, 2048, q, d, 11, 8);
+    let built = Measurement::fig6(2, 2048, q, d).seed(11).batch(8).run();
+    assert_eq!(format!("{free:?}"), format!("{built:?}"));
+}
+
+#[test]
+fn switch_overhead_batch_free_function_matches_builder() {
+    let free = switch_overhead_run_batch(
+        4,
+        CopyStrategy::ValidOnly,
+        SwitchStrategy::GangFlush,
+        3,
+        7,
+        8,
+    );
+    let built =
+        Measurement::switch_overhead(4, CopyStrategy::ValidOnly, SwitchStrategy::GangFlush, 3)
+            .seed(7)
+            .batch(8)
+            .run();
+    assert_eq!(format!("{free:?}"), format!("{built:?}"));
+}

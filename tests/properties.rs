@@ -71,15 +71,10 @@ fn burst_fingerprint(
     msg_a: u64,
     msg_ring: u64,
     count: u64,
-    static_division: bool,
+    policy: BufferPolicy,
     reliability: bool,
     seed: u64,
 ) -> Fingerprint {
-    let policy = if static_division {
-        BufferPolicy::StaticDivision
-    } else {
-        BufferPolicy::FullBuffer
-    };
     let mut cfg = ClusterConfig::parpar(4, 2, policy);
     cfg.quantum = Cycles::from_ms(quantum_ms);
     cfg.seed = seed;
@@ -145,10 +140,13 @@ proptest! {
         run_case(quantum_ms, msg_a, msg_b, count, copy_full, seed)?;
     }
 
-    /// The burst fast path is invisible: any workload/config mix — buffer
-    /// policies, quanta, reliability on or off, bidirectional traffic with
-    /// busy receive-side send paths — produces the same logical event
-    /// stream and the same stats with batching on as off.
+    /// The burst fast path is invisible: any workload/config mix — all
+    /// four buffer policies, quanta, reliability on or off, bidirectional
+    /// traffic with busy receive-side send paths — produces the same
+    /// logical event stream and the same stats with batching on as off.
+    /// (CachedEndpoints declines the fused loop, so there it checks the
+    /// deferred-bus generic path instead; Demand exercises the fused
+    /// loop's demand-aware refill-crossing prediction.)
     #[test]
     fn burst_on_equals_burst_off(
         batch in 2usize..32,
@@ -156,15 +154,21 @@ proptest! {
         msg_a in 1u64..65_536,
         msg_ring in 1u64..32_768,
         count in 30u64..250,
-        static_division in any::<bool>(),
+        policy_idx in 0usize..4,
         reliability in any::<bool>(),
         seed in any::<u64>(),
     ) {
+        let policy = [
+            BufferPolicy::StaticDivision,
+            BufferPolicy::FullBuffer,
+            BufferPolicy::CachedEndpoints,
+            BufferPolicy::Demand,
+        ][policy_idx];
         let off = burst_fingerprint(
-            0, quantum_ms, msg_a, msg_ring, count, static_division, reliability, seed,
+            0, quantum_ms, msg_a, msg_ring, count, policy, reliability, seed,
         );
         let on = burst_fingerprint(
-            batch, quantum_ms, msg_a, msg_ring, count, static_division, reliability, seed,
+            batch, quantum_ms, msg_a, msg_ring, count, policy, reliability, seed,
         );
         prop_assert_eq!(off, on);
     }
