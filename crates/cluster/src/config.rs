@@ -7,6 +7,8 @@ use fastmsg::init::InitMode;
 use gang_comm::strategy::SwitchStrategy;
 use gang_comm::switcher::{CopyStrategy, SwitchCosts};
 use hostsim::costs::HostCosts;
+use myrinet::topology::FatTreeShape;
+use parpar::control::ControlPlane;
 use sim_core::mem::CopyCostModel;
 use sim_core::time::Cycles;
 
@@ -21,6 +23,15 @@ pub enum TopologyKind {
         /// Parallel inter-switch links.
         trunks: usize,
     },
+    /// Three-tier k-ary fat-tree/Clos with table-free ECMP-deterministic
+    /// routing; the datacenter-scale fabric of the scalability sweep.
+    /// The degenerate one-pod one-edge shape is bit-identical to
+    /// `SingleSwitch`.
+    FatTree {
+        /// Pods × edges × hosts-per-edge shape (see
+        /// [`FatTreeShape::for_hosts`] for the canonical sizing).
+        shape: FatTreeShape,
+    },
 }
 
 /// Everything a simulated ParPar run is parameterized by.
@@ -32,6 +43,11 @@ pub struct ClusterConfig {
     pub slots: usize,
     /// Data-network topology.
     pub topology: TopologyKind,
+    /// How masterd fan-out/fan-in traffic crosses the control Ethernet:
+    /// the paper's flat multicast (default, digest-stable), an honest
+    /// serial unicast loop, or the O(log N) combining tree. `Serial` and
+    /// `Tree` change delivery timestamps, so they are never the default.
+    pub control: ControlPlane,
     /// FM configuration (buffer sizes, contexts, division policy).
     pub fm: FmConfig,
     /// Gang-scheduling time quantum.
@@ -110,6 +126,7 @@ impl ClusterConfig {
             nodes,
             slots,
             topology: TopologyKind::SingleSwitch,
+            control: ControlPlane::Flat,
             fm: FmConfig::parpar(nodes, slots, policy),
             quantum: Cycles::from_secs(1),
             auto_rotate: true,

@@ -9,7 +9,7 @@
 
 use fastmsg::packet::Packet;
 use hostsim::process::Pid;
-use parpar::protocol::{MasterMsg, NodedCmd};
+use parpar::protocol::{MasterMsg, NodedCmd, TreeMsg};
 
 /// A frame on the Myrinet data network.
 #[derive(Debug, Clone)]
@@ -98,6 +98,14 @@ pub enum DaemonEvent {
         node: usize,
         /// The command being executed.
         cmd: NodedCmd,
+    },
+    /// A combining-tree message reached a peer node (tree control plane
+    /// only; never emitted under the default flat multicast).
+    CtrlToPeer {
+        /// Destination node.
+        node: usize,
+        /// The tree message.
+        msg: TreeMsg,
     },
 }
 
@@ -263,6 +271,7 @@ pub const KIND_NAMES: &[&str] = &[
     "retrans_timeout",
     "switch_retry_check",
     "demand_rebalance",
+    "ctrl_to_peer",
 ];
 
 impl Event {
@@ -286,6 +295,7 @@ impl Event {
             Event::Fm(FmEvent::RetransTimeout { .. }) => 14,
             Event::Daemon(DaemonEvent::SwitchRetryCheck { .. }) => 15,
             Event::Fm(FmEvent::DemandRebalance { .. }) => 16,
+            Event::Daemon(DaemonEvent::CtrlToPeer { .. }) => 17,
         }
     }
 }

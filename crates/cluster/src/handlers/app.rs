@@ -70,6 +70,12 @@ impl AppHandler for World {
         let n = &mut self.nodes[node];
         n.procs.signal(pid, Signal::Kill);
         n.noded.remove_job(job);
+        if self.tree.is_some() {
+            // Combining tree: the exit joins the local job reduction
+            // instead of unicasting to the master.
+            self.tree_report_job_finished(now, node, job, bus);
+            return;
+        }
         let t = self.ctrl.unicast_to_master(now);
         bus.emit(
             t,

@@ -4,7 +4,9 @@
 use fastmsg::proc::FmProcess;
 use gang_comm::state::SavedCommState;
 use hostsim::process::{Pid, Signal};
-use parpar::protocol::{MasterMsg, NodedCmd};
+use parpar::control::ControlPlane;
+use parpar::job::JobId;
+use parpar::protocol::{MasterMsg, NodedCmd, TreeMsg};
 use sim_core::time::{Cycles, SimTime};
 use sim_core::trace::Category;
 
@@ -23,6 +25,7 @@ impl DaemonHandler for World {
             DaemonEvent::CtrlToMaster { msg } => self.on_ctrl_to_master(now, msg, bus),
             DaemonEvent::NodedAct { node, cmd } => self.on_noded_act(now, node, cmd, bus),
             DaemonEvent::SwitchRetryCheck { epoch } => self.on_switch_retry_check(now, epoch, bus),
+            DaemonEvent::CtrlToPeer { node, msg } => self.on_ctrl_to_peer(now, node, msg, bus),
         }
     }
 
@@ -57,20 +60,16 @@ impl World {
                     order.epoch, order.from, order.to
                 )
             });
-            let deliver = self.ctrl.multicast(now);
-            for node in 0..self.cfg.nodes {
-                bus.emit(
-                    deliver,
-                    DaemonEvent::CtrlToNode {
-                        node,
-                        cmd: NodedCmd::SwitchSlot {
-                            epoch: order.epoch,
-                            from: order.from,
-                            to: order.to,
-                        },
-                    },
-                );
-            }
+            self.switch_ordered_at = now;
+            self.fan_out(
+                now,
+                NodedCmd::SwitchSlot {
+                    epoch: order.epoch,
+                    from: order.from,
+                    to: order.to,
+                },
+                bus,
+            );
             // Reliability: arm the switch watchdog. A lost halt/ready frame
             // would otherwise deadlock the whole cluster in mid-switch.
             if self.cfg.reliability.enabled {
@@ -97,20 +96,57 @@ impl World {
         self.trace.emit(now, Category::Gang, None, || {
             format!("switch epoch {epoch} overdue: multicasting ResendProtocol")
         });
-        let deliver = self.ctrl.multicast(now);
-        for node in 0..self.cfg.nodes {
-            bus.emit(
-                deliver,
-                DaemonEvent::CtrlToNode {
-                    node,
-                    cmd: NodedCmd::ResendProtocol { epoch },
-                },
-            );
-        }
+        self.fan_out(now, NodedCmd::ResendProtocol { epoch }, bus);
         bus.emit(
             now + self.cfg.reliability.switch_retry,
             DaemonEvent::SwitchRetryCheck { epoch },
         );
+    }
+
+    /// Send one command from the masterd to every node, over whichever
+    /// control plane is configured: the paper's flat multicast (one wire
+    /// time, all deliveries simultaneous — optimistic at scale), an honest
+    /// serial unicast loop (N back-to-back wire transmissions on the
+    /// master's link), or the combining tree (one unicast to the root;
+    /// each node forwards to its children over its own link).
+    fn fan_out(&mut self, now: SimTime, cmd: NodedCmd, bus: &mut Bus) {
+        match self.cfg.control {
+            ControlPlane::Flat => {
+                let deliver = self.ctrl.multicast(now);
+                for node in 0..self.cfg.nodes {
+                    bus.emit(
+                        deliver,
+                        DaemonEvent::CtrlToNode {
+                            node,
+                            cmd: cmd.clone(),
+                        },
+                    );
+                }
+            }
+            ControlPlane::Serial => {
+                for node in 0..self.cfg.nodes {
+                    let t = self.ctrl.unicast_to_node(now);
+                    bus.emit(
+                        t,
+                        DaemonEvent::CtrlToNode {
+                            node,
+                            cmd: cmd.clone(),
+                        },
+                    );
+                }
+            }
+            ControlPlane::Tree { .. } => {
+                let root = self.tree.as_ref().expect("tree control plane").root();
+                let t = self.ctrl.unicast_to_node(now);
+                bus.emit(
+                    t,
+                    DaemonEvent::CtrlToPeer {
+                        node: root,
+                        msg: TreeMsg::Bcast(cmd),
+                    },
+                );
+            }
+        }
     }
 
     /// A node-local scheduler tick (uncoordinated mode): rotate this
@@ -139,17 +175,160 @@ impl World {
         bus.emit(now + self.cfg.quantum, DaemonEvent::NodeTick { node });
     }
 
-    /// A masterd command was delivered to a node's socket: the noded wakes
-    /// up after its scheduling jitter and dispatch cost.
-    fn on_ctrl_to_node(&mut self, now: SimTime, node: usize, cmd: NodedCmd, bus: &mut Bus) {
+    /// The noded's wake-up latency once a message hits its socket:
+    /// scheduling jitter plus dispatch cost.
+    fn daemon_wake_delay(&mut self) -> Cycles {
         let jmax = self.cfg.host_costs.daemon_jitter_max.raw();
         let jitter = if jmax == 0 {
             Cycles::ZERO
         } else {
             Cycles(self.rng.below(jmax + 1))
         };
-        let delay = self.cfg.host_costs.daemon_dispatch + jitter;
+        self.cfg.host_costs.daemon_dispatch + jitter
+    }
+
+    /// A masterd command was delivered to a node's socket: the noded wakes
+    /// up after its scheduling jitter and dispatch cost.
+    fn on_ctrl_to_node(&mut self, now: SimTime, node: usize, cmd: NodedCmd, bus: &mut Bus) {
+        let delay = self.daemon_wake_delay();
         bus.emit(now + delay, DaemonEvent::NodedAct { node, cmd });
+    }
+
+    /// A combining-tree message reached a peer noded (`ControlPlane::Tree`).
+    ///
+    /// Broadcasts descend: the noded wakes (jitter + dispatch), re-sends the
+    /// command to each child — the sends serialize on this node's own
+    /// control link — and then acts on it locally like any other command.
+    /// Ack counts ascend: the wake cost is paid, the count folds into this
+    /// node's reduction, and exactly when the whole subtree has reported
+    /// the combined count moves one level up (or to the master at the
+    /// root). Depth × (wake + wire) is the honest O(log N) latency.
+    fn on_ctrl_to_peer(&mut self, now: SimTime, node: usize, msg: TreeMsg, bus: &mut Bus) {
+        let tree = *self.tree.as_ref().expect("CtrlToPeer without a tree");
+        let acted = now + self.daemon_wake_delay();
+        match msg {
+            TreeMsg::Bcast(cmd) => {
+                for child in tree.children(node) {
+                    let t = self.ctrl.unicast_node_to_node(acted, node);
+                    bus.emit(
+                        t,
+                        DaemonEvent::CtrlToPeer {
+                            node: child,
+                            msg: TreeMsg::Bcast(cmd.clone()),
+                        },
+                    );
+                }
+                bus.emit(acted, DaemonEvent::NodedAct { node, cmd });
+            }
+            TreeMsg::SwitchDoneAgg { epoch, count } => {
+                if let Some(total) = self.tree_agg[node].add_switch_done(epoch, count) {
+                    self.forward_switch_agg(acted, node, epoch, total, bus);
+                }
+            }
+            TreeMsg::JobFinishedAgg { job, count } => {
+                if let Some(total) = self.tree_agg[node].add_job_finished(job, count) {
+                    self.forward_job_agg(acted, node, job, total, bus);
+                }
+            }
+        }
+    }
+
+    /// Send a completed switch-done reduction one level up the tree, or to
+    /// the masterd from the root.
+    fn forward_switch_agg(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        epoch: u64,
+        count: usize,
+        bus: &mut Bus,
+    ) {
+        let tree = self.tree.as_ref().expect("tree control plane");
+        match tree.parent(node) {
+            Some(parent) => {
+                let t = self.ctrl.unicast_node_to_node(now, node);
+                bus.emit(
+                    t,
+                    DaemonEvent::CtrlToPeer {
+                        node: parent,
+                        msg: TreeMsg::SwitchDoneAgg { epoch, count },
+                    },
+                );
+            }
+            None => {
+                let t = self.ctrl.unicast_to_master(now);
+                bus.emit(
+                    t,
+                    DaemonEvent::CtrlToMaster {
+                        msg: MasterMsg::SwitchDoneAgg { epoch, count },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Send a completed job-finished reduction one level up the tree, or to
+    /// the masterd from the root.
+    fn forward_job_agg(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        job: JobId,
+        count: usize,
+        bus: &mut Bus,
+    ) {
+        let tree = self.tree.as_ref().expect("tree control plane");
+        match tree.parent(node) {
+            Some(parent) => {
+                let t = self.ctrl.unicast_node_to_node(now, node);
+                bus.emit(
+                    t,
+                    DaemonEvent::CtrlToPeer {
+                        node: parent,
+                        msg: TreeMsg::JobFinishedAgg { job, count },
+                    },
+                );
+            }
+            None => {
+                let t = self.ctrl.unicast_to_master(now);
+                bus.emit(
+                    t,
+                    DaemonEvent::CtrlToMaster {
+                        msg: MasterMsg::JobFinishedAgg { job, count },
+                    },
+                );
+            }
+        }
+    }
+
+    /// A node's own switch completed (tree control plane): contribute one
+    /// ack to the local reduction; the combined count ascends when the
+    /// subtree is done. The local contribution is free — the noded is
+    /// already running — only upward hops pay wake and wire costs.
+    pub(crate) fn tree_report_switch_done(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        epoch: u64,
+        bus: &mut Bus,
+    ) {
+        if let Some(total) = self.tree_agg[node].add_switch_done(epoch, 1) {
+            self.forward_switch_agg(now, node, epoch, total, bus);
+        }
+    }
+
+    /// A node's own process exited (tree control plane): contribute one ack
+    /// to the local job reduction, ascending like switch acks.
+    pub(crate) fn tree_report_job_finished(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        job: JobId,
+        bus: &mut Bus,
+    ) {
+        if let Some(total) = self.tree_agg[node].add_job_finished(job, 1) {
+            self.forward_job_agg(now, node, job, total, bus);
+        }
     }
 
     /// A noded report reached the masterd.
@@ -169,25 +348,48 @@ impl World {
             }
             MasterMsg::SwitchDone { epoch, node } => {
                 if self.master.on_switch_done(node, epoch) {
-                    self.stats.switches += 1;
+                    self.complete_switch(now, epoch);
                 }
             }
             MasterMsg::JobFinished { job, node } => {
                 if self.master.on_job_finished(job, node) {
-                    self.stats.job_finished.insert(job, now);
-                    self.trace
-                        .emit(now, Category::Gang, None, || format!("{job} finished"));
-                    // Freed matrix space: the jobrep admits waiting jobs.
-                    let admitted = self.jobrep.drain(&mut self.master);
-                    for sub in admitted {
-                        let programs = self
-                            .queued_programs
-                            .pop_front()
-                            .expect("queued programs out of sync with jobrep");
-                        self.dispatch_submission(now, sub, programs, bus);
-                    }
+                    self.complete_job(now, job, bus);
                 }
             }
+            MasterMsg::SwitchDoneAgg { epoch, count } => {
+                if self.master.on_switch_done_agg(epoch, count) {
+                    self.complete_switch(now, epoch);
+                }
+            }
+            MasterMsg::JobFinishedAgg { job, count } => {
+                if self.master.on_job_finished_agg(job, count) {
+                    self.complete_job(now, job, bus);
+                }
+            }
+        }
+    }
+
+    /// The masterd saw the whole cluster finish a switch.
+    fn complete_switch(&mut self, now: SimTime, epoch: u64) {
+        self.stats.switches += 1;
+        self.stats
+            .switch_latency
+            .push((epoch, now.since(self.switch_ordered_at)));
+    }
+
+    /// The masterd saw a job's last process exit: record it and admit
+    /// queued jobs into the freed matrix space.
+    fn complete_job(&mut self, now: SimTime, job: JobId, bus: &mut Bus) {
+        self.stats.job_finished.insert(job, now);
+        self.trace
+            .emit(now, Category::Gang, None, || format!("{job} finished"));
+        let admitted = self.jobrep.drain(&mut self.master);
+        for sub in admitted {
+            let programs = self
+                .queued_programs
+                .pop_front()
+                .expect("queued programs out of sync with jobrep");
+            self.dispatch_submission(now, sub, programs, bus);
         }
     }
 

@@ -373,6 +373,12 @@ impl World {
     }
 
     fn report_switch_done(&mut self, now: SimTime, node: usize, epoch: u64, bus: &mut Bus) {
+        if self.tree.is_some() {
+            // Combining tree: the ack joins the local reduction instead of
+            // unicasting to the master; counts ascend the tree.
+            self.tree_report_switch_done(now, node, epoch, bus);
+            return;
+        }
         let t = self.ctrl.unicast_to_master(now);
         bus.emit(
             t,

@@ -29,7 +29,9 @@ pub use glue::GlueFm;
 pub use handlers::{
     AppHandler, DaemonHandler, FmHandler, NicHandler, SlotView, SwitchHandler, WorldState,
 };
+pub use myrinet::topology::{FatTreeShape, LinkTier};
 pub use node::NodeSim;
+pub use parpar::control::ControlPlane;
 pub use procsim::{BlockReason, ProcPhase, ProcSim};
-pub use stats::{QueueSample, WorldStats};
+pub use stats::{QueueSample, TierTraffic, WorldStats};
 pub use world::{Sim, World};

@@ -6,7 +6,19 @@ use gang_comm::overhead::OverheadLedger;
 use gang_comm::sequencer::StageBreakdown;
 use parpar::job::JobId;
 use sim_core::stats::BandwidthMeter;
-use sim_core::time::SimTime;
+use sim_core::time::{Cycles, SimTime};
+
+/// Per-fabric-tier link totals (edge, aggregation, spine), folded from the
+/// network's per-link counters by [`myrinet::topology::Topology::link_tier`].
+/// Single- and dual-switch topologies report host links as `Edge` and
+/// trunks as `Agg`; their `Spine` row is always zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierTraffic {
+    /// Packets carried per tier.
+    pub packets: [u64; 3],
+    /// Bytes carried per tier.
+    pub bytes: [u64; 3],
+}
 
 /// One Fig. 8 sample: valid packets found in the outgoing context's queues
 /// when the buffer switch ran.
@@ -45,6 +57,13 @@ pub struct WorldStats {
     pub wire_losses: u64,
     /// Completed cluster-wide switches.
     pub switches: u64,
+    /// Per completed switch: `(epoch, order-issue → masterd-completion)` —
+    /// the scalability sweep's switch-latency sample, covering command
+    /// fan-out, the slowest node's three phases, and ack fan-in.
+    pub switch_latency: Vec<(u64, Cycles)>,
+    /// Combining-tree depth of the control plane (`0` under the flat
+    /// multicast or the serial unicast loop).
+    pub tree_depth: usize,
     /// Reliability layer: packets re-injected by go-back-N timeouts.
     pub retransmits: u64,
     /// Reliability layer: halt/ready broadcasts repeated after a
@@ -66,6 +85,20 @@ impl WorldStats {
     pub fn record_switch(&mut self, node: usize, epoch: u64, b: StageBreakdown) {
         self.ledger.record(&b);
         self.stage_samples.push((node, epoch, b));
+    }
+
+    /// Mean cluster-wide switch latency over all recorded completions, in
+    /// cycles; `None` before the first completed switch.
+    pub fn mean_switch_latency(&self) -> Option<f64> {
+        if self.switch_latency.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .switch_latency
+            .iter()
+            .map(|(_, c)| c.raw() as f64)
+            .sum();
+        Some(sum / self.switch_latency.len() as f64)
     }
 
     /// The paper's Fig. 5/6 bandwidth for a finished job: payload bytes

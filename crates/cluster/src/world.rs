@@ -5,12 +5,13 @@ use std::collections::{BTreeMap, VecDeque};
 use fastmsg::packet::PACKET_BYTES;
 use lanai::nic::Nic;
 use myrinet::network::Network;
-use myrinet::topology::Topology;
-use parpar::control::ControlNet;
+use myrinet::topology::{LinkTier, Topology};
+use parpar::control::{ControlNet, ControlPlane};
 use parpar::job::{JobId, JobSpec};
 use parpar::jobrep::JobRep;
 use parpar::masterd::{Masterd, Submitted};
 use parpar::matrix::PlaceError;
+use parpar::tree::{job_expectations, ControlTree, TreeAgg};
 use sim_core::engine::{Engine, Model, RunOutcome, Scheduler};
 use sim_core::rng::DetRng;
 use sim_core::time::{Cycles, SimTime};
@@ -51,6 +52,15 @@ pub struct World {
     /// Programs of queued (not yet admitted) submissions, FIFO-aligned
     /// with the jobrep queue.
     pub(crate) queued_programs: VecDeque<Vec<Box<dyn Program>>>,
+    /// Combining-tree shape (`ControlPlane::Tree` only).
+    pub(crate) tree: Option<ControlTree>,
+    /// Per-node combining-tree aggregation state; empty unless `tree` is
+    /// set.
+    pub(crate) tree_agg: Vec<TreeAgg>,
+    /// When the masterd issued the in-flight switch order (feeds
+    /// `stats.switch_latency` at completion; one switch in flight at a
+    /// time).
+    pub(crate) switch_ordered_at: SimTime,
     /// Pooled agenda buffer for the packet-train trampoline (`cfg.batch`).
     /// Taken out of the world for the duration of a dispatch, always empty
     /// between dispatches.
@@ -65,6 +75,27 @@ impl World {
             crate::config::TopologyKind::DualSwitch { trunks } => {
                 Topology::dual_switch(cfg.nodes, trunks)
             }
+            crate::config::TopologyKind::FatTree { shape } => {
+                assert_eq!(
+                    shape.hosts(),
+                    cfg.nodes,
+                    "fat-tree shape hosts a different node count than the cluster"
+                );
+                Topology::fat_tree(shape)
+            }
+        };
+        let (tree, tree_agg) = match cfg.control {
+            ControlPlane::Tree { fanout } => {
+                assert!(
+                    !cfg.reliability.enabled,
+                    "the combining-tree control plane has no ResendProtocol \
+                     path; run reliability with Flat or Serial control"
+                );
+                let t = ControlTree::new(cfg.nodes, fanout);
+                let agg = (0..cfg.nodes).map(|n| TreeAgg::new(n, &t)).collect();
+                (Some(t), agg)
+            }
+            ControlPlane::Flat | ControlPlane::Serial => (None, Vec::new()),
         };
         let nodes = (0..cfg.nodes)
             .map(|id| {
@@ -93,9 +124,13 @@ impl World {
             jobrep: JobRep::new(),
             pending_programs: BTreeMap::new(),
             queued_programs: VecDeque::new(),
+            tree,
+            tree_agg,
+            switch_ordered_at: SimTime::ZERO,
             agenda_buf: Vec::with_capacity(16),
             cfg,
         };
+        w.stats.tree_depth = w.tree.as_ref().map_or(0, ControlTree::depth);
         // COMM_init_node on every noded startup (paper §3.2: "called when
         // the noded is initialized, to load the control program").
         for node in 0..w.cfg.nodes {
@@ -123,6 +158,15 @@ impl World {
     ) {
         for (rank, program) in programs.into_iter().enumerate() {
             self.pending_programs.insert((sub.job, rank), program);
+        }
+        if let Some(tree) = self.tree {
+            // Pre-register the job's ack reduction: every node on a
+            // member's root path expects its subtree's share of the
+            // placement before forwarding a combined JobFinished count.
+            let members: Vec<usize> = sub.cmds.iter().map(|(n, _)| *n).collect();
+            for (n, expected) in job_expectations(&tree, &members) {
+                self.tree_agg[n].register_job(sub.job, expected);
+            }
         }
         for (node, cmd) in sub.cmds {
             assert!(
@@ -166,8 +210,31 @@ impl World {
             jobrep: JobRep::new(),
             pending_programs: BTreeMap::new(),
             queued_programs: VecDeque::new(),
+            // Shards never touch the control plane (the poisoned ControlNet
+            // proves it), so the tree aggregation state stays with the real
+            // world.
+            tree: self.tree,
+            tree_agg: Vec::new(),
+            switch_ordered_at: SimTime::ZERO,
             agenda_buf: Vec::with_capacity(16),
         }
+    }
+
+    /// Fold the network's per-link counters by fabric tier (edge /
+    /// aggregation / spine) — the scalability sweep's per-tier load view.
+    pub fn tier_traffic(&self) -> crate::stats::TierTraffic {
+        let topo = self.net.topology();
+        let mut t = crate::stats::TierTraffic::default();
+        for (lid, st) in self.net.link_stats().iter().enumerate() {
+            let i = match topo.link_tier(lid) {
+                LinkTier::Edge => 0,
+                LinkTier::Agg => 1,
+                LinkTier::Spine => 2,
+            };
+            t.packets[i] += st.packets;
+            t.bytes[i] += st.bytes;
+        }
+        t
     }
 
     /// Have all submitted jobs finished?

@@ -9,6 +9,37 @@
 
 use sim_core::time::{Cycles, SimTime};
 
+/// How the masterd's fan-out (SwitchSlot) and fan-in (acks) traffic is
+/// carried over the control Ethernet.
+///
+/// `Flat` is the paper's model and the digest-stable default. `Serial`
+/// and `Tree` are the honest scalability pair the `scale_sweep` bench
+/// compares: a serial unicast loop pays O(N) wire transmissions on the
+/// master's single link, while the combining tree pays O(fanout) per hop
+/// over O(log N) levels, each hop serializing on the forwarding node's
+/// own link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlPlane {
+    /// Legacy Ethernet multicast: one wire transmission reaches every
+    /// node (ParPar preloads over multicast too). The default; all
+    /// existing golden digests assume it.
+    ///
+    /// Optimistic at scale — a real 10 Mb/s segment cannot multicast to
+    /// 4096 IP stacks for the price of one frame — which is exactly why
+    /// the scalability sweep never uses it.
+    #[default]
+    Flat,
+    /// Serial unicast loop: one wire transmission per node, all queued
+    /// on the master's link. The honest O(N) broadcast baseline.
+    Serial,
+    /// k-ary combining tree over the nodes: commands descend parent →
+    /// children and acks ascend as aggregated counts, O(log N) depth.
+    Tree {
+        /// Children per tree node (≥ 2).
+        fanout: usize,
+    },
+}
+
 /// Timing model of the control Ethernet.
 #[derive(Debug, Clone)]
 pub struct ControlNet {
@@ -20,6 +51,11 @@ pub struct ControlNet {
     /// Wire serialization per control message (≈128 B at 10 Mb/s).
     pub per_msg_wire: Cycles,
     master_link_free: SimTime,
+    /// Per-node Ethernet link horizons, grown on demand. Only the tree
+    /// control plane sends node→node traffic; each forwarding node
+    /// serializes its own sends on its own link, independent of the
+    /// master's.
+    node_link_free: Vec<SimTime>,
     /// Messages carried.
     pub messages: u64,
     /// When set, any traffic panics. Shard shells in the windowed parallel
@@ -36,6 +72,7 @@ impl Default for ControlNet {
             unicast_latency: Cycles::from_us(300),
             per_msg_wire: Cycles::from_us(100),
             master_link_free: SimTime::ZERO,
+            node_link_free: Vec::new(),
             messages: 0,
             poisoned: false,
         }
@@ -93,6 +130,24 @@ impl ControlNet {
         // Same shared-link discipline as the multicast.
         self.multicast(now)
     }
+
+    /// Node `from` unicasts one message to another node at `now`;
+    /// returns delivery at the peer. Serializes on the *sender's* link —
+    /// this is what makes the combining tree's cost model honest: a
+    /// node forwarding to `fanout` children pays `fanout` back-to-back
+    /// wire transmissions on its own link, but different forwarders pay
+    /// them concurrently.
+    pub fn unicast_node_to_node(&mut self, now: SimTime, from: usize) -> SimTime {
+        self.check_live();
+        if self.node_link_free.len() <= from {
+            self.node_link_free.resize(from + 1, SimTime::ZERO);
+        }
+        let start = now.max(self.node_link_free[from]);
+        let end = start + self.per_msg_wire;
+        self.node_link_free[from] = end;
+        self.messages += 1;
+        end + self.unicast_latency
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +178,26 @@ mod tests {
     #[should_panic(expected = "control-plane traffic inside a parallel window")]
     fn poisoned_net_rejects_traffic() {
         ControlNet::poisoned().unicast_to_master(SimTime::ZERO);
+    }
+
+    #[test]
+    fn node_links_serialize_independently() {
+        let mut c = ControlNet::new();
+        // Two different forwarders at the same instant: no shared queueing.
+        let a = c.unicast_node_to_node(SimTime::ZERO, 3);
+        let b = c.unicast_node_to_node(SimTime::ZERO, 7);
+        assert_eq!(a, b, "distinct sender links must not queue on each other");
+        // Same forwarder back-to-back: its own link serializes.
+        let a2 = c.unicast_node_to_node(SimTime::ZERO, 3);
+        assert_eq!(a2.raw() - a.raw(), c.per_msg_wire.raw());
+        // Node traffic never touches the master's link.
+        let m = c.multicast(SimTime::ZERO);
+        assert_eq!(m, SimTime(80_000));
+    }
+
+    #[test]
+    fn control_plane_default_is_flat() {
+        assert_eq!(ControlPlane::default(), ControlPlane::Flat);
     }
 
     #[test]

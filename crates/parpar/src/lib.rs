@@ -17,11 +17,13 @@ pub mod masterd;
 pub mod matrix;
 pub mod noded;
 pub mod protocol;
+pub mod tree;
 
-pub use control::ControlNet;
+pub use control::{ControlNet, ControlPlane};
 pub use job::{JobId, JobSpec, JobState};
 pub use jobrep::{JobRep, JobRepStats};
 pub use masterd::{Masterd, Submitted, SwitchOrder};
 pub use matrix::{GangMatrix, PlaceError, Placement};
 pub use noded::Noded;
-pub use protocol::{MasterMsg, NodedCmd};
+pub use protocol::{MasterMsg, NodedCmd, TreeMsg};
+pub use tree::{ControlTree, TreeAgg};

@@ -21,6 +21,9 @@ pub struct JobRecord {
     pub state: JobState,
     nodes_up: BTreeSet<usize>,
     nodes_finished: BTreeSet<usize>,
+    /// Exited processes reported via aggregated tree counts (the tree
+    /// control plane reports subtotals, not node ids).
+    finished_agg: usize,
 }
 
 /// A slot-switch order produced when the quantum expires.
@@ -44,6 +47,8 @@ pub struct Masterd {
     current_slot: usize,
     epoch: u64,
     switch_done: BTreeSet<usize>,
+    /// Switch acks received as aggregated tree counts this epoch.
+    switch_agg: usize,
     switch_in_flight: bool,
     /// Completed switches (for reports).
     pub switches_completed: u64,
@@ -71,6 +76,7 @@ impl Masterd {
             current_slot: 0,
             epoch: 0,
             switch_done: BTreeSet::new(),
+            switch_agg: 0,
             switch_in_flight: false,
             switches_completed: 0,
         }
@@ -140,6 +146,7 @@ impl Masterd {
                 state: JobState::Loading,
                 nodes_up: BTreeSet::new(),
                 nodes_finished: BTreeSet::new(),
+                finished_agg: 0,
             },
         );
         Ok(Submitted {
@@ -202,6 +209,7 @@ impl Masterd {
         self.epoch += 1;
         self.switch_in_flight = true;
         self.switch_done.clear();
+        self.switch_agg = 0;
         let order = SwitchOrder {
             epoch: self.epoch,
             from: self.current_slot,
@@ -226,12 +234,57 @@ impl Masterd {
         }
     }
 
+    /// The tree control plane delivered an aggregated count of switch
+    /// acks (normally one root message covering every node). Returns
+    /// `true` when the whole cluster has reported — the same single
+    /// logical completion [`Masterd::on_switch_done`] produces, reached
+    /// through counts instead of node ids.
+    pub fn on_switch_done_agg(&mut self, epoch: u64, count: usize) -> bool {
+        assert_eq!(epoch, self.epoch, "stale SwitchDone");
+        assert!(self.switch_in_flight, "SwitchDone with no switch in flight");
+        self.switch_agg += count;
+        assert!(
+            self.switch_agg <= self.nodes,
+            "{} aggregated switch acks for {} nodes",
+            self.switch_agg,
+            self.nodes
+        );
+        if self.switch_agg == self.nodes {
+            self.switch_in_flight = false;
+            self.switches_completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// A job's process exited on `node`. When the last one exits the job
     /// leaves the matrix; returns `true` then.
     pub fn on_job_finished(&mut self, job: JobId, node: usize) -> bool {
         let rec = self.jobs.get_mut(&job).expect("unknown job");
         rec.nodes_finished.insert(node);
         if rec.nodes_finished.len() == rec.spec.nprocs {
+            rec.state = JobState::Finished;
+            self.matrix.remove(job);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The tree control plane delivered an aggregated count of exited
+    /// processes for `job`. Returns `true` when the last one exits —
+    /// the same completion [`Masterd::on_job_finished`] produces.
+    pub fn on_job_finished_agg(&mut self, job: JobId, count: usize) -> bool {
+        let rec = self.jobs.get_mut(&job).expect("unknown job");
+        rec.finished_agg += count;
+        assert!(
+            rec.finished_agg <= rec.spec.nprocs,
+            "{} aggregated exits for a job of {} procs",
+            rec.finished_agg,
+            rec.spec.nprocs
+        );
+        if rec.finished_agg == rec.spec.nprocs {
             rec.state = JobState::Finished;
             self.matrix.remove(job);
             true

@@ -45,6 +45,32 @@ pub enum NodedCmd {
     },
 }
 
+/// Control messages the tree control plane passes between *nodes*
+/// (parent ↔ child in the combining tree); the master only ever talks to
+/// the tree root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeMsg {
+    /// Downward: deliver this command locally and forward it to the
+    /// subtree, each hop serializing on its own control link.
+    Bcast(NodedCmd),
+    /// Upward: a child's subtree completed switch `epoch`; `count` nodes
+    /// are covered by this aggregated ack.
+    SwitchDoneAgg {
+        /// The switch epoch.
+        epoch: u64,
+        /// Nodes covered by the subtree.
+        count: usize,
+    },
+    /// Upward: `count` of the job's processes under a child's subtree
+    /// have exited.
+    JobFinishedAgg {
+        /// The job.
+        job: JobId,
+        /// Exited processes covered.
+        count: usize,
+    },
+}
+
 /// Reports the nodeds send back to the masterd.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MasterMsg {
@@ -68,6 +94,22 @@ pub enum MasterMsg {
         job: JobId,
         /// Reporting node.
         node: usize,
+    },
+    /// Tree control plane: the root's combining tree completed switch
+    /// `epoch` for `count` nodes (a single message replaces N unicasts).
+    SwitchDoneAgg {
+        /// The switch epoch.
+        epoch: u64,
+        /// Nodes covered.
+        count: usize,
+    },
+    /// Tree control plane: `count` of the job's processes exited, as
+    /// aggregated by the root.
+    JobFinishedAgg {
+        /// The job.
+        job: JobId,
+        /// Exited processes covered.
+        count: usize,
     },
 }
 

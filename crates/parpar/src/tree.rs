@@ -1,0 +1,288 @@
+//! The combining tree of the scalable control plane.
+//!
+//! [`ControlTree`] is the shape: a heap-ordered k-ary tree over node ids
+//! (`parent(i) = (i-1)/fanout`), so no per-node routing table is needed
+//! and the master only ever talks to node 0, the root. Commands descend
+//! the tree (each hop forwarding to its children over its own control
+//! link); acknowledgments ascend as *counts* — a node sends one message
+//! to its parent carrying the size of its completed subtree instead of
+//! every descendant unicasting to the master.
+//!
+//! [`TreeAgg`] is one node's aggregation state: how many switch-done or
+//! job-finished contributions it still expects from its subtree before
+//! forwarding the combined count upward. The single logical epoch is
+//! preserved: the masterd still observes exactly one completion per
+//! switch, just delivered as aggregated counts.
+
+use std::collections::BTreeMap;
+
+use crate::job::JobId;
+
+/// A heap-ordered k-ary combining tree over `nodes` node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlTree {
+    nodes: usize,
+    fanout: usize,
+}
+
+impl ControlTree {
+    /// A tree over `nodes` nodes with `fanout` children per node.
+    pub fn new(nodes: usize, fanout: usize) -> Self {
+        assert!(nodes >= 1, "a control tree needs at least one node");
+        assert!(fanout >= 2, "a combining tree needs fanout >= 2");
+        ControlTree { nodes, fanout }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Children per node.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// The root node the master talks to.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Parent of `n`, `None` for the root.
+    pub fn parent(&self, n: usize) -> Option<usize> {
+        assert!(n < self.nodes, "node {n} outside tree of {}", self.nodes);
+        (n > 0).then(|| (n - 1) / self.fanout)
+    }
+
+    /// Children of `n`, in increasing id order.
+    pub fn children(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(n < self.nodes, "node {n} outside tree of {}", self.nodes);
+        let first = self.fanout * n + 1;
+        (first..first + self.fanout).take_while(move |&c| c < self.nodes)
+    }
+
+    /// Number of tree levels (1 for a single node).
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut n = self.nodes - 1;
+        while n > 0 {
+            n = (n - 1) / self.fanout;
+            d += 1;
+        }
+        d
+    }
+
+    /// Size of the subtree rooted at `n`, including `n` itself.
+    pub fn subtree_size(&self, n: usize) -> usize {
+        let mut size = 0;
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            size += 1;
+            stack.extend(self.children(x));
+        }
+        size
+    }
+}
+
+/// Per-node expected job-finished contributions for a placement: every
+/// member contributes one ack to each node on its path to the root, so
+/// `result[n]` is `|placement ∩ subtree(n)|` and only nodes that will
+/// actually see traffic appear in the map.
+pub fn job_expectations(tree: &ControlTree, placement: &[usize]) -> BTreeMap<usize, usize> {
+    let mut exp = BTreeMap::new();
+    for &m in placement {
+        let mut n = m;
+        loop {
+            *exp.entry(n).or_insert(0) += 1;
+            match tree.parent(n) {
+                Some(p) => n = p,
+                None => break,
+            }
+        }
+    }
+    exp
+}
+
+/// One node's combining-tree aggregation state.
+///
+/// Switch-done reduction expects exactly `subtree_size` contributions
+/// per epoch (one per descendant plus the node's own); job-finished
+/// reductions are registered per job at dispatch time with the subtree's
+/// share of the placement.
+#[derive(Debug, Clone)]
+pub struct TreeAgg {
+    node: usize,
+    subtree: usize,
+    cur_epoch: Option<u64>,
+    switch_got: usize,
+    jobs: BTreeMap<JobId, JobCount>,
+}
+
+#[derive(Debug, Clone)]
+struct JobCount {
+    expected: usize,
+    got: usize,
+}
+
+impl TreeAgg {
+    /// Aggregation state for `node` of `tree`.
+    pub fn new(node: usize, tree: &ControlTree) -> Self {
+        TreeAgg {
+            node,
+            subtree: tree.subtree_size(node),
+            cur_epoch: None,
+            switch_got: 0,
+            jobs: BTreeMap::new(),
+        }
+    }
+
+    /// Nodes in this node's subtree (the expected switch-ack count).
+    pub fn subtree(&self) -> usize {
+        self.subtree
+    }
+
+    /// Fold `count` switch-done acks for `epoch` into the reduction
+    /// (the node's own completion contributes `count = 1`). Returns the
+    /// aggregated total to forward upward exactly once, when the whole
+    /// subtree has reported.
+    pub fn add_switch_done(&mut self, epoch: u64, count: usize) -> Option<usize> {
+        if self.cur_epoch != Some(epoch) {
+            // Sequential epochs: the masterd never starts a switch while
+            // one is in flight, so a new epoch simply supersedes the
+            // completed previous one.
+            self.cur_epoch = Some(epoch);
+            self.switch_got = 0;
+        }
+        self.switch_got += count;
+        assert!(
+            self.switch_got <= self.subtree,
+            "node {}: {} switch acks for a subtree of {}",
+            self.node,
+            self.switch_got,
+            self.subtree
+        );
+        (self.switch_got == self.subtree).then_some(self.subtree)
+    }
+
+    /// Register a job whose subtree share is `expected` processes
+    /// (`job_expectations` of the placement). Called at dispatch on
+    /// every node with a nonzero share.
+    pub fn register_job(&mut self, job: JobId, expected: usize) {
+        assert!(expected > 0, "registering a job with no subtree share");
+        let prev = self.jobs.insert(job, JobCount { expected, got: 0 });
+        assert!(
+            prev.is_none(),
+            "job {job:?} registered twice at node {}",
+            self.node
+        );
+    }
+
+    /// Fold `count` job-finished acks into the reduction. Returns the
+    /// aggregated total to forward upward exactly once, when the whole
+    /// subtree share has exited; the job's entry is then retired.
+    pub fn add_job_finished(&mut self, job: JobId, count: usize) -> Option<usize> {
+        let rec = self
+            .jobs
+            .get_mut(&job)
+            .unwrap_or_else(|| panic!("job {job:?} not registered at node {}", self.node));
+        rec.got += count;
+        assert!(
+            rec.got <= rec.expected,
+            "node {}: {} finished acks for a share of {}",
+            self.node,
+            rec.got,
+            rec.expected
+        );
+        if rec.got == rec.expected {
+            let expected = rec.expected;
+            self.jobs.remove(&job);
+            Some(expected)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_shape_is_consistent() {
+        for nodes in [1usize, 3, 16, 257] {
+            for fanout in [2usize, 4] {
+                let t = ControlTree::new(nodes, fanout);
+                for n in 0..nodes {
+                    for c in t.children(n) {
+                        assert_eq!(t.parent(c), Some(n));
+                    }
+                }
+                assert_eq!(t.parent(0), None);
+                // Subtree sizes tile the node set.
+                assert_eq!(t.subtree_size(0), nodes);
+                for n in 0..nodes {
+                    let kids: usize = t.children(n).map(|c| t.subtree_size(c)).sum();
+                    assert_eq!(t.subtree_size(n), kids + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        assert_eq!(ControlTree::new(1, 2).depth(), 1);
+        assert_eq!(ControlTree::new(3, 2).depth(), 2);
+        assert_eq!(ControlTree::new(16, 2).depth(), 5);
+        assert_eq!(ControlTree::new(4096, 4).depth(), 7);
+    }
+
+    #[test]
+    fn switch_reduction_fires_exactly_once() {
+        let t = ControlTree::new(7, 2);
+        // Node 1's subtree is {1, 3, 4}.
+        let mut agg = TreeAgg::new(1, &t);
+        assert_eq!(agg.subtree(), 3);
+        assert_eq!(agg.add_switch_done(5, 1), None);
+        assert_eq!(agg.add_switch_done(5, 1), None);
+        assert_eq!(agg.add_switch_done(5, 1), Some(3));
+        // Next epoch resets.
+        assert_eq!(agg.add_switch_done(6, 2), None);
+        assert_eq!(agg.add_switch_done(6, 1), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "switch acks")]
+    fn overcounting_switch_acks_panics() {
+        let t = ControlTree::new(3, 2);
+        let mut agg = TreeAgg::new(1, &t); // leaf, subtree 1
+        agg.add_switch_done(1, 1);
+        agg.add_switch_done(1, 1);
+    }
+
+    #[test]
+    fn job_expectations_cover_member_paths() {
+        let t = ControlTree::new(16, 2);
+        // Members 5 and 6 share ancestor 2 but not 1.
+        let exp = job_expectations(&t, &[5, 6]);
+        assert_eq!(exp.get(&5), Some(&1));
+        assert_eq!(exp.get(&6), Some(&1));
+        assert_eq!(exp.get(&2), Some(&2));
+        assert_eq!(exp.get(&0), Some(&2));
+        assert_eq!(exp.get(&1), None);
+        // Root always expects the whole placement.
+        let full: Vec<usize> = (0..16).collect();
+        assert_eq!(job_expectations(&t, &full).get(&0), Some(&16));
+    }
+
+    #[test]
+    fn job_reduction_retires_on_completion() {
+        let t = ControlTree::new(7, 2);
+        let mut agg = TreeAgg::new(0, &t);
+        agg.register_job(JobId(9), 2);
+        assert_eq!(agg.add_job_finished(JobId(9), 1), None);
+        assert_eq!(agg.add_job_finished(JobId(9), 1), Some(2));
+        // Retired: a fresh registration of the same id is legal again.
+        agg.register_job(JobId(9), 1);
+        assert_eq!(agg.add_job_finished(JobId(9), 1), Some(1));
+    }
+}

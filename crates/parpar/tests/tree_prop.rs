@@ -1,0 +1,155 @@
+//! Property tests for the combining-tree control plane: broadcasts reach
+//! every node exactly once, and ack reductions deliver the master exactly
+//! one aggregate whose count matches the serial (one-unicast-per-node)
+//! reference — for the awkward sizes N ∈ {3, 16, 257} and arbitrary
+//! fanouts and arrival orders.
+
+use parpar::job::JobId;
+use parpar::tree::{job_expectations, ControlTree, TreeAgg};
+use proptest::prelude::*;
+
+/// The sweep's interesting sizes: a stub tree, the paper's testbed, and a
+/// non-power-of-two that leaves the last level ragged.
+const SIZES: [usize; 3] = [3, 16, 257];
+
+/// A deterministic permutation of `0..n` derived from `seed` (the shimmed
+/// proptest has no shuffle strategy).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        // splitmix-style step; only uniformity-ish is needed here.
+        s = s
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0xb5ad_4ece_da1c_e2a9);
+        let j = (s >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Deliver one node's own ack into the reduction and let completed
+/// subtotals ascend; returns the aggregate count if it reached the master.
+fn contribute_switch(
+    tree: &ControlTree,
+    agg: &mut [TreeAgg],
+    node: usize,
+    epoch: u64,
+) -> Option<usize> {
+    let mut at = node;
+    let mut carry = agg[at].add_switch_done(epoch, 1);
+    while let Some(total) = carry {
+        match tree.parent(at) {
+            Some(p) => {
+                at = p;
+                carry = agg[at].add_switch_done(epoch, total);
+            }
+            None => return Some(total),
+        }
+    }
+    None
+}
+
+/// Same ascent for a job-finished ack.
+fn contribute_job(
+    tree: &ControlTree,
+    agg: &mut [TreeAgg],
+    node: usize,
+    job: JobId,
+) -> Option<usize> {
+    let mut at = node;
+    let mut carry = agg[at].add_job_finished(job, 1);
+    while let Some(total) = carry {
+        match tree.parent(at) {
+            Some(p) => {
+                at = p;
+                carry = agg[at].add_job_finished(job, total);
+            }
+            None => return Some(total),
+        }
+    }
+    None
+}
+
+proptest! {
+    /// A broadcast descending the tree reaches every node exactly once,
+    /// whatever the fanout.
+    #[test]
+    fn broadcast_reaches_every_node_exactly_once(fanout in 2usize..9) {
+        for nodes in SIZES {
+            let tree = ControlTree::new(nodes, fanout);
+            let mut delivered = vec![0usize; nodes];
+            let mut frontier = vec![tree.root()];
+            while let Some(n) = frontier.pop() {
+                delivered[n] += 1;
+                frontier.extend(tree.children(n));
+            }
+            for (n, &d) in delivered.iter().enumerate() {
+                prop_assert_eq!(d, 1, "node {} delivered {} times", n, d);
+            }
+        }
+    }
+
+    /// Switch-done reduction: with every node acking in an arbitrary
+    /// order, the master receives exactly one aggregate, and its count
+    /// equals the N acks the serial reference would have delivered.
+    #[test]
+    fn switch_reduction_matches_serial_ack_count(
+        fanout in 2usize..9,
+        seed in any::<u64>(),
+        epoch in 0u64..1000,
+    ) {
+        for nodes in SIZES {
+            let tree = ControlTree::new(nodes, fanout);
+            let mut agg: Vec<TreeAgg> =
+                (0..nodes).map(|n| TreeAgg::new(n, &tree)).collect();
+            let mut master_acks = Vec::new();
+            for &n in &permutation(nodes, seed) {
+                if let Some(total) = contribute_switch(&tree, &mut agg, n, epoch) {
+                    master_acks.push(total);
+                }
+            }
+            // Serial reference: N unicasts, the masterd counts N acks.
+            // Tree: exactly one message whose count is that same N.
+            prop_assert_eq!(&master_acks, &vec![nodes]);
+        }
+    }
+
+    /// Job-finished reduction over an arbitrary placement subset: the
+    /// master receives exactly one aggregate equal to the placement size
+    /// (the serial reference's ack count), and it arrives only after the
+    /// last member exits.
+    #[test]
+    fn job_reduction_matches_serial_ack_count(
+        fanout in 2usize..9,
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        for nodes in SIZES {
+            let tree = ControlTree::new(nodes, fanout);
+            let members: Vec<usize> =
+                (0..nodes).filter(|n| mask & (1 << (n % 64)) != 0).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut agg: Vec<TreeAgg> =
+                (0..nodes).map(|n| TreeAgg::new(n, &tree)).collect();
+            let job = JobId(7);
+            for (n, expected) in job_expectations(&tree, &members) {
+                agg[n].register_job(job, expected);
+            }
+            let order = permutation(members.len(), seed);
+            let mut master_acks = Vec::new();
+            for (i, &oi) in order.iter().enumerate() {
+                if let Some(total) = contribute_job(&tree, &mut agg, members[oi], job) {
+                    master_acks.push(total);
+                    prop_assert_eq!(
+                        i, members.len() - 1,
+                        "aggregate surfaced before the last member exited"
+                    );
+                }
+            }
+            prop_assert_eq!(&master_acks, &vec![members.len()]);
+        }
+    }
+}
