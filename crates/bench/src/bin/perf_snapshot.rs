@@ -18,11 +18,17 @@
 //! slowdowns on small CI hosts. An explicit `--threads N` (the form CI
 //! uses to compare two counts) always runs and is instead marked
 //! `oversubscribed` in the table and the JSON when `N` exceeds the cores.
-//! Every row carries the event-stream digest, which must be bit-identical
-//! across thread counts and is printed as stable `DIGEST` lines for CI to
-//! diff. Batched rows always run on the sequential engine (`windows` = 0):
-//! the windowed driver declares `batch > 0` ineligible so the physical
-//! stream digest never depends on the sharding.
+//! Every row carries a determinism digest, printed as stable `DIGEST`
+//! lines for CI to diff across thread counts. For `batch == 0` rows that
+//! is the physical event-stream digest, bit-identical at any thread
+//! count. `batch > 0` rows run on the windowed engine too (shard-local
+//! trains fence at the shard queue head, so the *elision pattern* may
+//! legally differ from the sequential batched run); their determinism
+//! contract is pinned one level up, at the logical stream, so those rows
+//! carry [`Sim::logical_fingerprint`] instead. Each row also records why
+//! it was ineligible for windowing (`ineligible_reason`), separating
+//! "sequential by design" from "eligible but never found a sound
+//! window".
 //!
 //! The row format and its JSON round-trip live in
 //! [`bench_harness::snapshot`].
@@ -44,8 +50,22 @@ use workloads::ring::Ring;
 /// Everything a run returns besides wall time.
 struct Outcome {
     logical_events: u64,
+    /// Physical stream digest at `batch == 0`, logical fingerprint at
+    /// `batch > 0` (see the module docs for why the contract moves).
     digest: u64,
     windows: u64,
+    ineligible: Option<&'static str>,
+}
+
+/// The digest a `(batch, threads)` cell pins: the physical dispatch
+/// stream when nothing is elided, the logical fingerprint when the burst
+/// fast path may legally re-shape the physical stream per shard.
+fn pinned_digest(sim: &Sim, batch: usize) -> u64 {
+    if batch == 0 {
+        sim.engine.stream_digest()
+    } else {
+        sim.logical_fingerprint()
+    }
 }
 
 fn run_ring(threads: usize, batch: usize, seed: u64, laps: u64) -> Outcome {
@@ -67,8 +87,9 @@ fn run_ring(threads: usize, batch: usize, seed: u64, laps: u64) -> Outcome {
     );
     Outcome {
         logical_events: sim.engine.logical_events(),
-        digest: sim.engine.stream_digest(),
+        digest: pinned_digest(&sim, batch),
         windows: sim.parallel_windows(),
+        ineligible: sim.windows_ineligible(),
     }
 }
 
@@ -90,8 +111,9 @@ fn run_pairs64(threads: usize, batch: usize, seed: u64, count: u64) -> Outcome {
     );
     Outcome {
         logical_events: sim.engine.logical_events(),
-        digest: sim.engine.stream_digest(),
+        digest: pinned_digest(&sim, batch),
         windows: sim.parallel_windows(),
+        ineligible: sim.windows_ineligible(),
     }
 }
 
@@ -129,9 +151,14 @@ fn main() {
                 None if rest.is_empty() => take(&mut args, "--threads"),
                 _ => panic!("unknown flag {a}"),
             };
-            let n: usize = v.parse().expect("--threads takes an integer");
-            assert!(n >= 1, "--threads must be at least 1");
-            threads_sweep = vec![n];
+            threads_sweep = v
+                .split(',')
+                .map(|t| {
+                    let n: usize = t.parse().expect("--threads takes integers");
+                    assert!(n >= 1, "--threads must be at least 1");
+                    n
+                })
+                .collect();
             threads_explicit = true;
         } else if let Some(rest) = a.strip_prefix("--seed") {
             let v = match rest.strip_prefix('=') {
@@ -149,7 +176,7 @@ fn main() {
         } else if a == "--quick" {
             quick = true;
         } else if a == "--help" || a == "-h" {
-            eprintln!("flags: --threads N --seed N --out FILE --quick");
+            eprintln!("flags: --threads N[,N...] --seed N --out FILE --quick");
             std::process::exit(0);
         } else {
             panic!("unknown flag {a}");
@@ -181,6 +208,7 @@ fn main() {
                 events_per_sec: o.logical_events as f64 / (wall_ms / 1e3),
                 digest: o.digest,
                 windows: o.windows,
+                ineligible_reason: o.ineligible.map(str::to_string),
                 oversubscribed,
             });
             let (wall_ms, o) = measure(quick, || run_pairs64(threads, batch, seed, pairs_count));
@@ -193,6 +221,7 @@ fn main() {
                 events_per_sec: o.logical_events as f64 / (wall_ms / 1e3),
                 digest: o.digest,
                 windows: o.windows,
+                ineligible_reason: o.ineligible.map(str::to_string),
                 oversubscribed,
             });
         }
@@ -225,8 +254,12 @@ fn main() {
     // same set (compare with `grep ^DIGEST | sort -u`).
     for r in &rows {
         println!(
-            "DIGEST scenario={} batch={} events={} digest={:#018x}",
-            r.scenario, r.batch, r.logical_events, r.digest
+            "DIGEST scenario={} batch={} kind={} events={} digest={:#018x}",
+            r.scenario,
+            r.batch,
+            if r.batch == 0 { "physical" } else { "logical" },
+            r.logical_events,
+            r.digest
         );
     }
     for &batch in &[0usize, 16] {

@@ -56,6 +56,7 @@ struct CellOut {
     logical_events: u64,
     digest: u64,
     windows: u64,
+    ineligible: Option<&'static str>,
 }
 
 /// The pair-job placements for an `nodes`-host cell: one disjoint pair
@@ -118,6 +119,7 @@ fn run_cell(
     let logical_events = sim.engine.logical_events();
     let digest = sim.engine.stream_digest();
     let windows = sim.parallel_windows();
+    let ineligible = sim.windows_ineligible();
     let w = sim.world();
     assert_eq!(w.stats.drops, 0, "{name} N={nodes} dropped packets");
     let agg_mbps: f64 = jobs
@@ -146,6 +148,7 @@ fn run_cell(
         logical_events,
         digest,
         windows,
+        ineligible,
     }
 }
 
@@ -235,6 +238,7 @@ fn main() {
                 events_per_sec: c.logical_events as f64 / (c.wall_ms / 1e3),
                 digest: c.digest,
                 windows: c.windows,
+                ineligible_reason: c.ineligible.map(str::to_string),
                 oversubscribed: opts.threads > host_cores,
             })
             .collect(),

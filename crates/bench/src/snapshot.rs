@@ -27,6 +27,12 @@ pub struct Row {
     pub digest: u64,
     /// Parallel windows the sharded driver committed (0 = sequential).
     pub windows: u64,
+    /// Why the configuration was ineligible for the windowed engine
+    /// (`"threads=1"`, `"reliability timers"`, …), or `None` when it was
+    /// eligible. Distinguishes `windows == 0` meaning "sequential by
+    /// design" from "eligible, but no sound window materialized at
+    /// runtime".
+    pub ineligible_reason: Option<String>,
     /// More threads than the host has cores: the row measures scheduler
     /// contention, not engine scaling, and CI must not gate on it.
     pub oversubscribed: bool,
@@ -55,12 +61,17 @@ impl Snapshot {
         let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
         s.push_str("  \"rows\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
+            let reason = match &r.ineligible_reason {
+                Some(why) => format!("\"{why}\""),
+                None => "null".into(),
+            };
             let _ = write!(
                 s,
                 "    {{\"scenario\": \"{}\", \"threads\": {}, \"batch\": {}, \
                  \"wall_ms\": {:.3}, \"logical_events\": {}, \
                  \"events_per_sec\": {:.0}, \"digest\": \"{:#018x}\", \
-                 \"windows\": {}, \"oversubscribed\": {}}}",
+                 \"windows\": {}, \"ineligible_reason\": {}, \
+                 \"oversubscribed\": {}}}",
                 r.scenario,
                 r.threads,
                 r.batch,
@@ -69,6 +80,7 @@ impl Snapshot {
                 r.events_per_sec,
                 r.digest,
                 r.windows,
+                reason,
                 r.oversubscribed,
             );
             s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
@@ -111,6 +123,18 @@ impl Snapshot {
                 events_per_sec: float_field(line, "events_per_sec")?,
                 digest,
                 windows: num_field(line, "windows")?,
+                ineligible_reason: match raw_field(line, "ineligible_reason")?.as_str() {
+                    "null" => None,
+                    quoted => Some(
+                        quoted
+                            .strip_prefix('"')
+                            .and_then(|r| r.strip_suffix('"'))
+                            .ok_or_else(|| {
+                                format!("field ineligible_reason is not a string: {quoted}")
+                            })?
+                            .to_string(),
+                    ),
+                },
                 oversubscribed: raw_field(line, "oversubscribed")? == "true",
             });
         }
@@ -168,6 +192,7 @@ mod tests {
                     events_per_sec: 101_820_000.0,
                     digest: 0xd76b_ef7d_1b3f_c15a,
                     windows: 0,
+                    ineligible_reason: Some("threads=1".into()),
                     oversubscribed: false,
                 },
                 Row {
@@ -179,6 +204,7 @@ mod tests {
                     events_per_sec: 28_286.0,
                     digest: 0x0000_0000_0000_0001,
                     windows: 17,
+                    ineligible_reason: None,
                     oversubscribed: true,
                 },
             ],

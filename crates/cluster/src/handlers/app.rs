@@ -214,6 +214,8 @@ impl World {
                     next_frag: 0,
                     nfrags: fragments_for(bytes),
                 });
+                // A new message is a fresh chance for trains to pay off.
+                proc.burst_futile = 0;
                 if proc.first_send.is_none() {
                     proc.first_send = Some(now);
                     let job = proc.job;

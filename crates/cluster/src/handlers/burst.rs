@@ -57,6 +57,14 @@ use crate::handlers::{AppHandler, FmHandler};
 use crate::procsim::{BlockReason, ProcPhase};
 use crate::world::World;
 
+/// Consecutive at-most-one-fragment trains on a process before `try_burst`
+/// stops attempting until its next message. On flows whose credit window
+/// keeps every train degenerate (the 64-pair mix: tiny per-destination
+/// windows, refills always in flight), the burst preconditions and
+/// candidate wire times are pure overhead per fragment — the adaptive
+/// bail-out caps that at a few attempts per message.
+pub(crate) const BURST_FUTILE_LIMIT: u32 = 3;
+
 impl World {
     /// Try to run a fused packet train for the message `pid` on `node` is
     /// sending. Called from `complete_send_fragment` right after fragment
@@ -66,6 +74,12 @@ impl World {
     /// then skip its own `kick_send_engine`/`proc_kick` (the burst already
     /// accounted for them). Returns `false` — with the world untouched —
     /// when any precondition fails.
+    ///
+    /// Wraps [`World::burst_train`] with the adaptive bail-out: after
+    /// [`BURST_FUTILE_LIMIT`] consecutive attempts that fused at most one
+    /// fragment, attempts are skipped (one branch on hot sender state)
+    /// until the next message resets the counter — batch mode is then
+    /// never slower than batch-off on train-hostile flows.
     pub(crate) fn try_burst(
         &mut self,
         now: SimTime,
@@ -76,8 +90,40 @@ impl World {
     ) -> bool {
         // Deferred-bus mode only (cfg.batch >= 2): the window tells us how
         // far we may run ahead without interleaving with foreign events.
-        let Some((limit, fence)) = bus.run_ahead_window() else {
+        // Not an "attempt" for the bail-out: the bus is permanently direct.
+        if bus.run_ahead_window().is_none() {
             return false;
+        }
+        if self.nodes[node]
+            .apps
+            .get(&pid)
+            .is_none_or(|p| p.burst_futile >= BURST_FUTILE_LIMIT)
+        {
+            return false;
+        }
+        let fused = self.burst_train(now, node, pid, ctx_id, bus);
+        if let Some(p) = self.nodes[node].apps.get_mut(&pid) {
+            if fused <= 1 {
+                p.burst_futile += 1;
+            } else {
+                p.burst_futile = 0;
+            }
+        }
+        fused > 0
+    }
+
+    /// The fused packet-train loop behind [`World::try_burst`]: returns
+    /// how many fragments it fused (0 = world untouched).
+    fn burst_train(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        pid: Pid,
+        ctx_id: usize,
+        bus: &mut Bus,
+    ) -> usize {
+        let Some((limit, fence)) = bus.run_ahead_window() else {
+            return 0;
         };
         // Configurations with per-packet side effects the fused loop does
         // not model take the generic path. The go-back-N reliability layer
@@ -92,29 +138,29 @@ impl World {
             || (self.cfg.dynamic_coscheduling && !self.cfg.gang_scheduling)
             || self.vn_active()
         {
-            return false;
+            return 0;
         }
 
         // --- Sender-side preconditions (all read-only) ---
         let (dst, job, job_id, first_idx, bytes, dst_rank, m_credits, frags_left) = {
             let s = &self.nodes[node];
             if s.send_engine_busy || s.halt_requested || s.nic.halt_bit() || !s.in_service {
-                return false;
+                return 0;
             }
             let Some(sproc) = s.apps.get(&pid) else {
-                return false;
+                return 0;
             };
             // `sending` is Some iff fragments remain after the one just
             // pushed — a burst never fuses a message's last fragment.
             let Some(sp) = sproc.sending else {
-                return false;
+                return 0;
             };
             if sproc.phase != ProcPhase::Running
                 || sproc.blocked.is_some()
                 || sproc.deferred_pkt.is_some()
                 || !s.procs.get(pid).is_some_and(|p| p.is_active())
             {
-                return false;
+                return 0;
             }
             // Reliability: complete_send_fragment armed the retransmit
             // timer before trying the burst, and it stays armed for the
@@ -123,16 +169,16 @@ impl World {
             debug_assert!(!self.cfg.reliability.enabled || sproc.rel_timer_armed);
             let dst = sproc.fm.host_of(sp.dst_rank);
             if dst == node {
-                return false;
+                return 0;
             }
             // The just-pushed fragment must be the only queued packet on
             // this NIC, so the engine scan deterministically picks it and
             // the elided SendEngineDone handlers find nothing to do.
             let Some(ctx) = s.nic.context(ctx_id) else {
-                return false;
+                return 0;
             };
             if ctx.send_q.len() != 1 || s.nic.send_q_occupancy() != 1 {
-                return false;
+                return 0;
             }
             // Elided SendEngineDone handlers scan for SendSpace-blocked or
             // finished processes and drain pending refills: require all of
@@ -142,7 +188,7 @@ impl World {
                     || p.phase == ProcPhase::Finished
                     || !p.pending_refills.is_empty()
                 {
-                    return false;
+                    return 0;
                 }
             }
             let job = sproc.fm.job;
@@ -161,18 +207,18 @@ impl World {
 
         // --- Receiver-side preconditions (all read-only) ---
         let Some(rpid) = self.find_proc_by_job(dst, job) else {
-            return false;
+            return 0;
         };
         let (rctx_id, r_send_idle) = {
             let r = &self.nodes[dst];
             if r.nic.halt_bit() || !r.in_service {
-                return false;
+                return 0;
             }
             let Some(rctx_id) = r.nic.find_context(job) else {
-                return false;
+                return 0;
             };
             if !r.nic.context(rctx_id).unwrap().recv_q.is_empty() {
-                return false;
+                return 0;
             }
             let rproc = &r.apps[&rpid];
             if rproc.busy
@@ -181,7 +227,7 @@ impl World {
                 || rproc.deferred_pkt.is_some()
                 || !r.procs.get(rpid).is_some_and(|p| p.is_active())
             {
-                return false;
+                return 0;
             }
             // A fused refill commits through the receiver's send engine
             // immediately, and the SendEngineDone it elides scans the
@@ -209,7 +255,7 @@ impl World {
         // tracked live below (fused refills can top the window back up).
         let m_max = self.cfg.batch.min(frags_left as usize);
         if m_max == 0 {
-            return false;
+            return 0;
         }
 
         let send_pp = self.nodes[node].nic.costs.send_per_packet;
@@ -466,7 +512,7 @@ impl World {
             self.stats.job_bw.insert(job_id, meter);
         }
         if fused == 0 {
-            return false;
+            return 0;
         }
 
         // -- Burst boundary: re-materialize the surviving events --
@@ -527,6 +573,6 @@ impl World {
         // extract HostOpDone, plus the counted receiver kicks and the
         // events of any fused refill.
         bus.note_elided(5 * fused as u64 - 2 + p_kicks + refill_elided);
-        true
+        fused
     }
 }

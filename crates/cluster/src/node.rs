@@ -13,6 +13,102 @@ use parpar::noded::Noded;
 
 use crate::procsim::ProcSim;
 
+/// Pid → [`ProcSim`] map, flat.
+///
+/// A node hosts one process per gang slot — one or two in every
+/// configuration the paper studies — and the hot handlers (`proc_kick`,
+/// `HostOpDone`, packet landing) do several lookups per event. A sorted
+/// `Vec` keeps those lookups inside one cache line instead of chasing
+/// `BTreeMap` node pointers; iteration order (ascending pid) and the whole
+/// method surface match the map it replaces, so determinism is unaffected.
+#[derive(Default)]
+pub struct AppMap {
+    entries: Vec<(Pid, ProcSim)>,
+}
+
+impl AppMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        AppMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The process with id `pid`, if resident.
+    #[inline]
+    pub fn get(&self, pid: &Pid) -> Option<&ProcSim> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == pid).then_some(v))
+    }
+
+    /// Mutable access to the process with id `pid`, if resident.
+    #[inline]
+    pub fn get_mut(&mut self, pid: &Pid) -> Option<&mut ProcSim> {
+        self.entries
+            .iter_mut()
+            .find_map(|(k, v)| (k == pid).then_some(v))
+    }
+
+    /// Insert `proc` under `pid`, returning the displaced process if the
+    /// pid was already resident.
+    pub fn insert(&mut self, pid: Pid, proc: ProcSim) -> Option<ProcSim> {
+        match self.entries.binary_search_by_key(&pid.0, |(k, _)| k.0) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, proc)),
+            Err(i) => {
+                self.entries.insert(i, (pid, proc));
+                None
+            }
+        }
+    }
+
+    /// Remove and return the process with id `pid`, if resident.
+    pub fn remove(&mut self, pid: &Pid) -> Option<ProcSim> {
+        match self.entries.binary_search_by_key(&pid.0, |(k, _)| k.0) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Resident pids, ascending.
+    pub fn keys(&self) -> impl Iterator<Item = &Pid> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// `(pid, process)` pairs in ascending pid order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Pid, &ProcSim)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Resident processes in ascending pid order.
+    pub fn values(&self) -> impl Iterator<Item = &ProcSim> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Mutable iteration in ascending pid order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut ProcSim> {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
+
+    /// Number of resident processes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is no process resident?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::ops::Index<&Pid> for AppMap {
+    type Output = ProcSim;
+    fn index(&self, pid: &Pid) -> &ProcSim {
+        self.get(pid)
+            .unwrap_or_else(|| panic!("no process with pid {}", pid.0))
+    }
+}
+
 /// One compute node of the simulated cluster.
 pub struct NodeSim {
     /// Node id (= host id on the data network).
@@ -30,7 +126,7 @@ pub struct NodeSim {
     /// Pageable backing store for descheduled jobs' queue contents.
     pub backing: BackingStore<SavedCommState<Packet>>,
     /// Application-process simulation state by pid.
-    pub apps: BTreeMap<Pid, ProcSim>,
+    pub apps: AppMap,
     /// True while a SendEngineDone event is outstanding.
     pub send_engine_busy: bool,
     /// The noded asked for a halt; the engine starts the halt broadcast at
@@ -92,7 +188,7 @@ impl NodeSim {
             nic,
             seq: SwitchSequencer::new(peers),
             backing: BackingStore::new(),
-            apps: BTreeMap::new(),
+            apps: AppMap::new(),
             send_engine_busy: false,
             halt_requested: false,
             halt_broadcast_started: false,

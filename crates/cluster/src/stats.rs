@@ -1,12 +1,177 @@
 //! Cluster-wide measurement collection.
 
-use std::collections::BTreeMap;
-
 use gang_comm::overhead::OverheadLedger;
 use gang_comm::sequencer::StageBreakdown;
 use parpar::job::JobId;
 use sim_core::stats::BandwidthMeter;
 use sim_core::time::{Cycles, SimTime};
+
+/// A per-job stat column backed by a flat `Vec` indexed by `JobId`.
+///
+/// JobIds are allocated densely from 1 by the masterd, so direct indexing
+/// replaces the `BTreeMap<JobId, _>` lookups that used to sit on the
+/// per-extract hot path — at N = 4096 hosts the tree walk (two to three
+/// pointer chases into cold nodes, per received fragment) was the largest
+/// single contributor to the O(N) per-event scale tax. Iteration order is
+/// ascending `JobId`, matching the map it replaces.
+#[derive(Debug, Clone)]
+pub struct PerJob<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+}
+
+impl<T> Default for PerJob<T> {
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> PerJob<T> {
+    #[inline]
+    fn idx(job: JobId) -> usize {
+        job.0 as usize
+    }
+
+    #[inline]
+    /// The value recorded for `job`, if any.
+    pub fn get(&self, job: &JobId) -> Option<&T> {
+        self.slots.get(Self::idx(*job))?.as_ref()
+    }
+
+    #[inline]
+    /// Mutable access to the value recorded for `job`, if any.
+    pub fn get_mut(&mut self, job: &JobId) -> Option<&mut T> {
+        self.slots.get_mut(Self::idx(*job))?.as_mut()
+    }
+
+    #[inline]
+    /// Is there a value recorded for `job`?
+    pub fn contains_key(&self, job: &JobId) -> bool {
+        self.get(job).is_some()
+    }
+
+    fn slot(&mut self, job: JobId) -> &mut Option<T> {
+        let i = Self::idx(job);
+        if self.slots.len() <= i {
+            self.slots.resize_with(i + 1, || None);
+        }
+        &mut self.slots[i]
+    }
+
+    /// Record `value` for `job`, returning the previous value if any.
+    pub fn insert(&mut self, job: JobId, value: T) -> Option<T> {
+        let prev = self.slot(job).replace(value);
+        if prev.is_none() {
+            self.live += 1;
+        }
+        prev
+    }
+
+    /// Take `job`'s value out of the table, if present.
+    pub fn remove(&mut self, job: &JobId) -> Option<T> {
+        let taken = self.slots.get_mut(Self::idx(*job))?.take();
+        if taken.is_some() {
+            self.live -= 1;
+        }
+        taken
+    }
+
+    /// `BTreeMap::entry(job)`-style in-place access; the two `or_*` forms
+    /// the handlers use are provided directly.
+    #[inline]
+    pub fn entry(&mut self, job: JobId) -> PerJobEntry<'_, T> {
+        PerJobEntry { table: self, job }
+    }
+
+    #[inline]
+    /// Number of jobs with a recorded value.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    /// Is no job recorded at all?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Live job ids in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.iter().map(|(j, _)| j)
+    }
+
+    /// Live `(JobId, &T)` pairs in ascending job order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (JobId(i as u32), v)))
+    }
+
+    /// Live values in ascending job order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+}
+
+impl<T> IntoIterator for PerJob<T> {
+    type Item = (JobId, T);
+    type IntoIter = std::iter::FilterMap<
+        std::iter::Enumerate<std::vec::IntoIter<Option<T>>>,
+        fn((usize, Option<T>)) -> Option<(JobId, T)>,
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|v| (JobId(i as u32), v)))
+    }
+}
+
+/// In-place slot handle returned by [`PerJob::entry`].
+pub struct PerJobEntry<'a, T> {
+    table: &'a mut PerJob<T>,
+    job: JobId,
+}
+
+impl<'a, T> PerJobEntry<'a, T> {
+    /// Insert `default` if the slot is vacant; return the value in place.
+    pub fn or_insert(self, default: T) -> &'a mut T {
+        self.or_insert_with(|| default)
+    }
+
+    /// Insert `T::default()` if the slot is vacant; return the value in place.
+    pub fn or_default(self) -> &'a mut T
+    where
+        T: Default,
+    {
+        self.or_insert_with(T::default)
+    }
+
+    /// Insert `make()` if the slot is vacant; return the value in place.
+    pub fn or_insert_with(self, make: impl FnOnce() -> T) -> &'a mut T {
+        let i = PerJob::<T>::idx(self.job);
+        if self.table.slots.len() <= i {
+            self.table.slots.resize_with(i + 1, || None);
+        }
+        if self.table.slots[i].is_none() {
+            self.table.live += 1;
+            self.table.slots[i] = Some(make());
+        }
+        self.table.slots[i].as_mut().unwrap()
+    }
+}
+
+impl<T> std::ops::Index<&JobId> for PerJob<T> {
+    type Output = T;
+    fn index(&self, job: &JobId) -> &T {
+        self.get(job)
+            .unwrap_or_else(|| panic!("no entry for job {}", job.0))
+    }
+}
 
 /// Per-fabric-tier link totals (edge, aggregation, spine), folded from the
 /// network's per-link counters by [`myrinet::topology::Topology::link_tier`].
@@ -44,13 +209,13 @@ pub struct WorldStats {
     /// Queue-occupancy samples at switch time (Fig. 8).
     pub queue_samples: Vec<QueueSample>,
     /// Receiver-side payload bandwidth per job (Figs. 5/6).
-    pub job_bw: BTreeMap<JobId, BandwidthMeter>,
+    pub job_bw: PerJob<BandwidthMeter>,
     /// When each job's processes all reported up (AllUp broadcast).
-    pub job_all_up: BTreeMap<JobId, SimTime>,
+    pub job_all_up: PerJob<SimTime>,
     /// When each job's first data send was issued.
-    pub job_first_send: BTreeMap<JobId, SimTime>,
+    pub job_first_send: PerJob<SimTime>,
     /// When each job fully finished.
-    pub job_finished: BTreeMap<JobId, SimTime>,
+    pub job_finished: PerJob<SimTime>,
     /// Data packets dropped (possible only under ShareDiscard).
     pub drops: u64,
     /// Packets lost to injected wire faults.

@@ -237,11 +237,11 @@ impl World {
         t
     }
 
-    /// Have all submitted jobs finished?
+    /// Have all submitted jobs finished? O(1) — the masterd keeps an
+    /// unfinished-jobs counter, so the engine can afford to ask after
+    /// every event.
     pub fn all_jobs_finished(&self) -> bool {
-        self.master
-            .jobs()
-            .all(|(_, r)| r.state == parpar::job::JobState::Finished)
+        self.master.all_jobs_finished()
     }
 }
 
@@ -430,6 +430,65 @@ impl Sim {
     /// the sequential engine).
     pub fn parallel_windows(&self) -> u64 {
         self.par.as_ref().map_or(0, |p| p.windows)
+    }
+
+    /// Why this configuration runs on the sequential engine, or `None`
+    /// when the windowed parallel engine is eligible. Benchmark rows
+    /// record this so a `windows == 0` result distinguishes "sequential
+    /// by design" from "eligible but no sound window was found".
+    pub fn windows_ineligible(&self) -> Option<&'static str> {
+        self.windows_ineligible_reason()
+    }
+
+    /// FNV-1a fold of the run's *logical* observables: the logical event
+    /// count, per-job all-up/first-send/finish times, per-process
+    /// delivered-message counts, completed switches, retransmits, drops,
+    /// and wire losses.
+    ///
+    /// This is the determinism contract for batched runs. Burst trains
+    /// elide *physical* events, and inside a shard of the windowed engine
+    /// the run-ahead limit is the shard's own queue head — so the elision
+    /// pattern (and with it the dispatch digest) differs between the
+    /// sequential and windowed engines when `batch > 0`. Every observable
+    /// the simulation reports is nevertheless identical (the
+    /// `burst_on_equals_burst_off` property pins this), so batched runs
+    /// promise bit-identical *logical fingerprints* across thread counts,
+    /// while `batch == 0` runs additionally keep the physical digest
+    /// thread-invariant.
+    pub fn logical_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        fold(self.engine.logical_events());
+        let w = &self.engine.model;
+        for (j, t) in w.stats.job_all_up.iter() {
+            fold(j.0 as u64);
+            fold(t.raw());
+        }
+        for (j, t) in w.stats.job_first_send.iter() {
+            fold(j.0 as u64);
+            fold(t.raw());
+        }
+        for (j, t) in w.stats.job_finished.iter() {
+            fold(j.0 as u64);
+            fold(t.raw());
+        }
+        for n in &w.nodes {
+            for p in n.apps.values() {
+                fold(p.fm.stats.msgs_received);
+            }
+        }
+        fold(w.stats.switches);
+        fold(w.stats.retransmits);
+        fold(w.stats.drops);
+        fold(w.stats.wire_losses);
+        h
     }
 
     /// Shorthand for the world, mutably.

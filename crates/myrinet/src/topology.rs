@@ -405,7 +405,8 @@ impl Topology {
         }
         if shape.pods > 1 {
             assert!(
-                shape.spines >= shape.aggs_per_pod && shape.spines.is_multiple_of(shape.aggs_per_pod),
+                shape.spines >= shape.aggs_per_pod
+                    && shape.spines.is_multiple_of(shape.aggs_per_pod),
                 "spines ({}) must be a positive multiple of aggs_per_pod ({})",
                 shape.spines,
                 shape.aggs_per_pod

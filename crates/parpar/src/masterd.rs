@@ -52,6 +52,10 @@ pub struct Masterd {
     switch_in_flight: bool,
     /// Completed switches (for reports).
     pub switches_completed: u64,
+    /// Jobs submitted but not yet Finished. Kept incrementally so the
+    /// engine's per-event "all jobs done?" predicate is O(1) instead of a
+    /// scan over every job record ever admitted.
+    unfinished: usize,
 }
 
 /// Result of a successful submission.
@@ -79,6 +83,7 @@ impl Masterd {
             switch_agg: 0,
             switch_in_flight: false,
             switches_completed: 0,
+            unfinished: 0,
         }
     }
 
@@ -111,6 +116,23 @@ impl Masterd {
     /// All jobs currently known.
     pub fn jobs(&self) -> impl Iterator<Item = (JobId, &JobRecord)> {
         self.jobs.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Have all submitted jobs reached `Finished`? O(1): maintained as a
+    /// counter at submit/finish instead of scanning the job table (which
+    /// the engine would otherwise do after every event).
+    pub fn all_jobs_finished(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    /// A value that changes whenever the set of unfinished jobs changes.
+    /// The admitted-job count only grows, and between two admissions the
+    /// unfinished count only shrinks, so every (submit, finish) history
+    /// maps to a distinct stamp. Consumers (the windowed engine's shard
+    /// partition) cache derived structures under it instead of rebuilding
+    /// them every query.
+    pub fn lifecycle_stamp(&self) -> u64 {
+        ((self.jobs.len() as u64) << 32) | self.unfinished as u64
     }
 
     /// Admit a job: place it in the matrix and emit LoadJob commands
@@ -149,6 +171,7 @@ impl Masterd {
                 finished_agg: 0,
             },
         );
+        self.unfinished += 1;
         Ok(Submitted {
             job,
             placement,
@@ -265,6 +288,7 @@ impl Masterd {
         rec.nodes_finished.insert(node);
         if rec.nodes_finished.len() == rec.spec.nprocs {
             rec.state = JobState::Finished;
+            self.unfinished -= 1;
             self.matrix.remove(job);
             true
         } else {
@@ -286,6 +310,7 @@ impl Masterd {
         );
         if rec.finished_agg == rec.spec.nprocs {
             rec.state = JobState::Finished;
+            self.unfinished -= 1;
             self.matrix.remove(job);
             true
         } else {

@@ -131,7 +131,15 @@ pub fn run_shard<M: Model>(
     classify: fn(&M::Event) -> usize,
     mut shard_safe: impl FnMut(&M, &M::Event) -> bool,
 ) -> ShardOutput<M::Event> {
-    let mut sched: Scheduler<M::Event> = Scheduler::shard(now, VIRT_SEQ_BASE, fence.0);
+    // The scheduler's `fence` field is the *inclusive* run-ahead horizon:
+    // a batching model may handle emissions at that instant inline. The
+    // window fence is exclusive at `(fence.0, 0)`, and every in-shard
+    // emission carries a virtual seq (>= VIRT_SEQ_BASE) that orders after
+    // that key — so run-ahead inside a shard must stop one instant short
+    // of the window fence, or a burst train could retire work the merge
+    // is obligated to order against other shards' real seqs.
+    let horizon = SimTime(fence.0 .0.saturating_sub(1));
+    let mut sched: Scheduler<M::Event> = Scheduler::shard(now, VIRT_SEQ_BASE, horizon);
     for (t, s, e) in events {
         debug_assert!(s < VIRT_SEQ_BASE, "drained event carries a virtual seq");
         debug_assert!((t, s) < fence, "drained event past the fence");

@@ -114,6 +114,7 @@ mod tests {
             msgs_received: received,
             bytes_received: 0,
             msgs_sent: 0,
+            bytes_sent: 0,
         }
     }
 

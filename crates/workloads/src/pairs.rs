@@ -7,7 +7,7 @@
 //! irregular on the wire (unlike ring or all-to-all) while preserving the
 //! count-based wait contract the simulator's blocking primitive uses.
 
-use crate::program::{Op, ProcView, Program, Workload};
+use crate::program::{frag_ops, Op, ProcView, Program, Workload};
 
 /// Irregular point-to-point traffic from a shared seed.
 #[derive(Debug, Clone, Copy)]
@@ -97,12 +97,18 @@ impl Program for PairsProgram {
     }
     fn ops_remaining(&self, view: &ProcView) -> Option<u64> {
         // The schedule is fixed by the seed: this rank sends `rounds`
-        // messages and collects its owed total before Done. `msgs_sent`
-        // counts fully sent messages, so both terms are lower bounds.
-        Some(
-            self.cfg.rounds.saturating_sub(view.msgs_sent)
-                + self.owed_total.saturating_sub(view.msgs_received),
-        )
+        // messages (`rounds * msg_bytes` payload bytes) and collects its
+        // owed total before Done. The byte terms count one op per fragment
+        // still to move (tight for multi-fragment messages), the message
+        // terms one per message (tight for sub-fragment ones); all four
+        // are lower bounds, so the pairwise max is too.
+        let send_total = self.cfg.rounds.saturating_mul(self.cfg.msg_bytes);
+        let send = frag_ops(send_total.saturating_sub(view.bytes_sent))
+            .max(self.cfg.rounds.saturating_sub(view.msgs_sent));
+        let recv_total = self.owed_total.saturating_mul(self.cfg.msg_bytes);
+        let recv = frag_ops(recv_total.saturating_sub(view.bytes_received))
+            .max(self.owed_total.saturating_sub(view.msgs_received));
+        Some(send + recv)
     }
     fn name(&self) -> &'static str {
         "random-pairs"
@@ -182,6 +188,7 @@ mod tests {
                     msgs_received: received[r],
                     bytes_received: 0,
                     msgs_sent: 0,
+                    bytes_sent: 0,
                 };
                 match progs[r].next_op(&view) {
                     Op::Send { dst, .. } => received[dst] += 1,

@@ -47,6 +47,20 @@ pub struct ProcView {
     pub bytes_received: u64,
     /// Messages fully sent so far.
     pub msgs_sent: u64,
+    /// Payload bytes injected so far (counted per fragment, so a partially
+    /// sent message is reflected immediately).
+    pub bytes_sent: u64,
+}
+
+/// A lower bound on the fragment operations (injections or extractions)
+/// needed to move `bytes_left` more payload bytes through the FM library:
+/// every fragment carries at most [`fastmsg::packet::MAX_PAYLOAD`] bytes.
+///
+/// Programs combine this with a per-message count (`max`, not `+`): the
+/// byte bound is tighter for large messages, the message bound for
+/// sub-fragment ones, and both are true lower bounds so their max is too.
+pub fn frag_ops(bytes_left: u64) -> u64 {
+    bytes_left.div_ceil(fastmsg::packet::MAX_PAYLOAD)
 }
 
 /// The behavior of one process.
@@ -63,10 +77,16 @@ pub trait Program: Send {
     /// A lower bound on the number of host-CPU operations that must still
     /// complete for this process before it can return [`Op::Done`], or
     /// `None` when the program cannot tell. Countable operations are
-    /// message-fragment injections (each `Send` contributes at least one),
-    /// receive-side extractions (each message still missing from
-    /// `view.msgs_received` contributes at least one), and `Compute` ops —
-    /// provided each `Compute` lasts at least one fragment-injection time.
+    /// message-fragment injections (each `Send` contributes at least one
+    /// per fragment still to inject — [`frag_ops`] over the bytes left),
+    /// receive-side extractions (one per fragment still to extract, and at
+    /// least one per message still missing from `view.msgs_received`), and
+    /// `Compute` ops — provided each `Compute` lasts at least one
+    /// fragment-injection time. Counting fragments rather than messages
+    /// matters: the window fence is `(hint - 1)` minimal operations past
+    /// the queue head, so a message-granular bound caps windows at a few
+    /// thousand cycles while the fragment-granular one lets a steady-state
+    /// bandwidth run open windows hundreds of fragments wide.
     ///
     /// The windowed parallel engine uses this to bound how soon a process
     /// can exit: the countable operations serialize on the process's host
@@ -192,6 +212,7 @@ mod tests {
             msgs_received: 0,
             bytes_received: 0,
             msgs_sent: 0,
+            bytes_sent: 0,
         }
     }
 

@@ -358,6 +358,134 @@ fn disjoint_jobs_shard_and_match_sequential() {
     }
 }
 
+/// Burst trains compose with the windowed parallel engine: on the
+/// disjoint-shard scenario with `batch = 16`, the windowed driver engages
+/// (`parallel_windows() > 0`), every logical observable matches the
+/// sequential batched run bit-for-bit (fingerprint + finish times + event
+/// count), and thread counts 2 and 8 produce identical *physical* streams
+/// too (the partition does not depend on worker count). The physical
+/// digest of the windowed run is allowed to differ from the sequential
+/// batched run — a shard's run-ahead limit is its own queue head, so the
+/// elision pattern differs; the contract for `batch > 0` is the logical
+/// stream.
+#[test]
+fn batched_windows_match_logical_stream() {
+    let run = |threads: usize| {
+        let mut cfg = ClusterConfig::parpar(8, 1, BufferPolicy::StaticDivision);
+        cfg.auto_rotate = false;
+        cfg.seed = 913;
+        cfg.threads = threads;
+        cfg.batch = 16;
+        let mut sim = Sim::new(cfg);
+        let bench = P2pBandwidth::with_count(4096, 300);
+        let mut jobs = Vec::new();
+        for pair in [[0usize, 1], [2, 3], [4, 5], [6, 7]] {
+            jobs.push(sim.submit(&bench, Some(pair.to_vec())).unwrap());
+        }
+        assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(20)));
+        if threads > 1 {
+            assert!(
+                sim.parallel_windows() > 0,
+                "threads={threads}: windowed driver never engaged with batch on"
+            );
+        }
+        let finishes: Vec<_> = jobs
+            .iter()
+            .map(|j| sim.world().stats.job_finished[j])
+            .collect();
+        (
+            sim.logical_fingerprint(),
+            sim.engine.logical_events(),
+            sim.engine.now(),
+            finishes,
+            sim.engine.stream_digest(),
+        )
+    };
+    let seq = run(1);
+    let t2 = run(2);
+    let t8 = run(8);
+    // Logical contract: everything except the physical digest matches the
+    // sequential batched run.
+    assert_eq!(t2.0, seq.0, "threads=2 logical fingerprint");
+    assert_eq!(t2.1, seq.1, "threads=2 logical events");
+    assert_eq!(t2.2, seq.2, "threads=2 clock");
+    assert_eq!(t2.3, seq.3, "threads=2 finish times");
+    // Physical contract between windowed runs: worker count is invisible.
+    assert_eq!(t8, t2, "threads=8 vs threads=2 full stream");
+}
+
+/// The batched windowed run preserves the *unbatched* logical stream too:
+/// batch and threads are both pure execution strategies, so all four
+/// (batch, threads) corners agree on the logical fingerprint.
+#[test]
+fn batch_threads_matrix_shares_one_logical_stream() {
+    let run = |threads: usize, batch: usize| {
+        let mut cfg = ClusterConfig::parpar(8, 1, BufferPolicy::StaticDivision);
+        cfg.auto_rotate = false;
+        cfg.seed = 4177;
+        cfg.threads = threads;
+        cfg.batch = batch;
+        let mut sim = Sim::new(cfg);
+        let bench = P2pBandwidth::with_count(4096, 200);
+        for pair in [[0usize, 1], [2, 3], [4, 5], [6, 7]] {
+            sim.submit(&bench, Some(pair.to_vec())).unwrap();
+        }
+        assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(20)));
+        (sim.logical_fingerprint(), sim.engine.logical_events())
+    };
+    let base = run(1, 0);
+    for threads in [1usize, 2, 8] {
+        for batch in [0usize, 16] {
+            assert_eq!(run(threads, batch), base, "threads={threads} batch={batch}");
+        }
+    }
+}
+
+/// Golden *logical fingerprints* per (buffer policy, batch): the one-word
+/// determinism contract batched runs pin (DESIGN.md §3i). Each cell must
+/// reproduce its committed value at threads 1 and 2 — any change to the
+/// logical event stream, job lifecycle timing, or delivered-message
+/// accounting shows up here, while physical-stream-only changes (elision
+/// patterns) must not. Identical in debug and release builds.
+#[test]
+fn logical_fingerprint_goldens_per_policy_and_batch() {
+    let run = |policy: BufferPolicy, batch: usize, threads: usize| {
+        let mut cfg = ClusterConfig::parpar(8, 1, policy);
+        cfg.auto_rotate = false;
+        cfg.seed = 2025;
+        cfg.batch = batch;
+        cfg.threads = threads;
+        let mut sim = Sim::new(cfg);
+        let bench = P2pBandwidth::with_count(4096, 150);
+        for pair in [[0usize, 1], [2, 3], [4, 5], [6, 7]] {
+            sim.submit(&bench, Some(pair.to_vec())).unwrap();
+        }
+        assert!(sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(20)));
+        sim.logical_fingerprint()
+    };
+    // Three policies share a value: on disjoint one-slot pairs the NIC
+    // memory scheme does not change any logical observable, only Demand's
+    // credit-window sizing moves packet timing. That collapse is itself
+    // part of the golden.
+    let goldens: &[(BufferPolicy, u64)] = &[
+        (BufferPolicy::StaticDivision, 0xdac4_d486_6096_8900),
+        (BufferPolicy::FullBuffer, 0xdac4_d486_6096_8900),
+        (BufferPolicy::CachedEndpoints, 0xdac4_d486_6096_8900),
+        (BufferPolicy::Demand, 0x2290_ddc6_eb19_4988),
+    ];
+    for &(policy, want) in goldens {
+        for batch in [0usize, 16] {
+            for threads in [1usize, 2] {
+                assert_eq!(
+                    run(policy, batch, threads),
+                    want,
+                    "{policy:?} batch={batch} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn different_seeds_vary_jitter_but_preserve_shape() {
     let x = switch_overhead_run(8, CopyStrategy::Full, SwitchStrategy::GangFlush, 3, 1);

@@ -32,11 +32,11 @@ fn queued_job_runs_after_matrix_space_frees() {
     assert!(w.stats.job_finished.contains_key(&j2));
     // The queued job started strictly after one of the first two ended.
     let first_end = w.stats.job_finished.values().min().unwrap();
-    let queued_job = *w
+    let queued_job = w
         .stats
         .job_all_up
         .keys()
-        .find(|j| **j != j1 && **j != j2)
+        .find(|j| *j != j1 && *j != j2)
         .expect("queued job never came up");
     assert!(w.stats.job_all_up[&queued_job] > *first_end);
     assert_eq!(w.stats.drops, 0);
@@ -59,7 +59,7 @@ fn queue_preserves_fifo_admission() {
     // Jobs were admitted (and thus came up) in submission order:
     // JobIds are allocated at admission, so all-up order tracks id order.
     let mut ups: Vec<_> = w.stats.job_all_up.iter().collect();
-    ups.sort_by_key(|(j, _)| **j);
+    ups.sort_by_key(|(j, _)| *j);
     for pair in ups.windows(2) {
         assert!(pair[0].1 <= pair[1].1, "admission out of order");
     }
