@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_core::time::Cycles;
 use std::hint::black_box;
 
-fn bench_fig5_cells(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_cell");
+fn bench_fig5_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_bandwidth");
     g.sample_size(10);
     for (n, sz, count) in [(1usize, 65536u64, 100u64), (4, 4096, 200), (2, 64, 500)] {
         g.bench_with_input(
@@ -22,8 +22,8 @@ fn bench_fig5_cells(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_fig6_cell(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_cell");
+fn bench_fig6_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_bandwidth");
     g.sample_size(10);
     g.bench_function("k3_24KB_100ms", |b| {
         b.iter(|| {
@@ -37,5 +37,5 @@ fn bench_fig6_cell(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig5_cells, bench_fig6_cell);
+criterion_group!(benches, bench_fig5_bandwidth, bench_fig6_bandwidth);
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! ```
 
 use bench_harness::{par_sweep, HarnessOpts};
-use cluster::measure::{fig5_cell_rounded, switch_overhead_run};
+use cluster::measure::{switch_overhead_run, Measurement};
 use fastmsg::division::CreditRounding;
 use gang_comm::strategy::SwitchStrategy;
 use gang_comm::switcher::CopyStrategy;
@@ -95,10 +95,11 @@ fn main() {
     );
     let params: Vec<usize> = (5..=9).collect();
     let rows = par_sweep(params.clone(), |&n| {
+        let cell = |r: CreditRounding| Measurement::fig5(n, 4096, 150).rounding(r).seed(seed).run();
         [
-            fig5_cell_rounded(n, 4096, 150, seed, CreditRounding::Floor),
-            fig5_cell_rounded(n, 4096, 150, seed, CreditRounding::Round),
-            fig5_cell_rounded(n, 4096, 150, seed, CreditRounding::Ceil),
+            cell(CreditRounding::Floor),
+            cell(CreditRounding::Round),
+            cell(CreditRounding::Ceil),
         ]
     });
     for (&n, cells) in params.iter().zip(&rows) {

@@ -12,7 +12,7 @@
 //! ```
 
 use bench_harness::{par_sweep, HarnessOpts};
-use cluster::measure::fig5_cell_scaled;
+use cluster::measure::Measurement;
 use sim_core::report::{Cell, Table};
 
 fn main() {
@@ -26,7 +26,12 @@ fn main() {
             params.push((n, m));
         }
     }
-    let results = par_sweep(params, |&(n, m)| fig5_cell_scaled(n, 16384, 200, seed, m));
+    let results = par_sweep(params, |&(n, m)| {
+        Measurement::fig5(n, 16384, 200)
+            .mem_scale(m)
+            .seed(seed)
+            .run()
+    });
 
     let mut headers: Vec<String> = vec!["contexts".into()];
     for &m in &scales {

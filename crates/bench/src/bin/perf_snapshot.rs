@@ -1,7 +1,9 @@
 //! Engine performance snapshot: wall-clock throughput of the discrete-event
 //! core on the micro-benchmark scenarios, written to `BENCH_engine.json`.
 //!
-//! Two scenarios:
+//! Two default scenarios (`--scenario NAME` swaps in any scenario from
+//! [`workloads::registry`] instead — resolved by name, run on 8 nodes at
+//! the same thread/batch grid):
 //!
 //! * `ring_1mib` — the `engine_throughput` criterion scenario: 4 nodes,
 //!   one ring job pushing 1 MiB messages for 4 laps. Bidirectional traffic
@@ -35,7 +37,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin perf_snapshot \
-//!     [--threads N] [--seed N] [--out FILE] [--quick]
+//!     [--threads N] [--seed N] [--out FILE] [--quick] [--scenario NAME]
 //! ```
 
 use std::time::Instant;
@@ -44,7 +46,6 @@ use bench_harness::snapshot::{Row, Snapshot};
 use cluster::{ClusterConfig, Sim};
 use fastmsg::division::BufferPolicy;
 use sim_core::time::{Cycles, SimTime};
-use workloads::p2p::P2pBandwidth;
 use workloads::ring::Ring;
 
 /// Everything a run returns besides wall time.
@@ -100,14 +101,43 @@ fn run_pairs64(threads: usize, batch: usize, seed: u64, count: u64) -> Outcome {
     cfg.batch = batch;
     cfg.threads = threads;
     let mut sim = Sim::new(cfg);
-    let bench = P2pBandwidth::with_count(65_536, count);
+    let bench = workloads::registry::build("p2p", 2, seed, count).expect("registry has p2p");
     for pair in 0..32 {
-        sim.submit(&bench, Some(vec![2 * pair, 2 * pair + 1]))
+        sim.submit(&*bench, Some(vec![2 * pair, 2 * pair + 1]))
             .unwrap();
     }
     assert!(
         sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(600)),
         "pairs did not finish"
+    );
+    Outcome {
+        logical_events: sim.engine.logical_events(),
+        digest: pinned_digest(&sim, batch),
+        windows: sim.parallel_windows(),
+        ineligible: sim.windows_ineligible(),
+    }
+}
+
+/// One registry scenario on 8 nodes, static division, no rotation: the
+/// shared path every sweep bin resolves scenario names through.
+fn run_scenario(name: &str, threads: usize, batch: usize, seed: u64, size: u64) -> Outcome {
+    let bench = workloads::registry::build(name, 8, seed, size).unwrap_or_else(|| {
+        panic!(
+            "unknown scenario {name:?} (known: {:?})",
+            workloads::registry::names()
+        )
+    });
+    let mut cfg = ClusterConfig::parpar(8, 1, BufferPolicy::StaticDivision);
+    cfg.auto_rotate = false;
+    cfg.seed = seed;
+    cfg.batch = batch;
+    cfg.threads = threads;
+    let mut sim = Sim::new(cfg);
+    let nodes: Vec<usize> = (0..bench.nprocs()).collect();
+    sim.submit(&*bench, Some(nodes)).unwrap();
+    assert!(
+        sim.run_until_jobs_done(SimTime::ZERO + Cycles::from_secs(600)),
+        "{name} did not finish"
     );
     Outcome {
         logical_events: sim.engine.logical_events(),
@@ -139,6 +169,7 @@ fn main() {
     let mut seed = 42u64;
     let mut out_path = String::from("BENCH_engine.json");
     let mut quick = false;
+    let mut scenario: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let take = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -173,10 +204,20 @@ fn main() {
                 None if rest.is_empty() => take(&mut args, "--out"),
                 _ => panic!("unknown flag {a}"),
             };
+        } else if let Some(rest) = a.strip_prefix("--scenario") {
+            scenario = Some(match rest.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None if rest.is_empty() => take(&mut args, "--scenario"),
+                _ => panic!("unknown flag {a}"),
+            });
         } else if a == "--quick" {
             quick = true;
         } else if a == "--help" || a == "-h" {
-            eprintln!("flags: --threads N[,N...] --seed N --out FILE --quick");
+            eprintln!(
+                "flags: --threads N[,N...] --seed N --out FILE --quick --scenario NAME\n\
+                 scenarios: {:?}",
+                workloads::registry::names()
+            );
             std::process::exit(0);
         } else {
             panic!("unknown flag {a}");
@@ -194,10 +235,29 @@ fn main() {
     }
 
     let (ring_laps, pairs_count) = if quick { (1, 60) } else { (4, 400) };
+    let scenario_size = if quick { 20 } else { 100 };
     let mut rows = Vec::new();
     for &threads in &threads_sweep {
         let oversubscribed = threads > host_cores;
         for batch in [0usize, 16] {
+            if let Some(name) = &scenario {
+                let (wall_ms, o) = measure(quick, || {
+                    run_scenario(name, threads, batch, seed, scenario_size)
+                });
+                rows.push(Row {
+                    scenario: name.clone(),
+                    threads,
+                    batch,
+                    wall_ms,
+                    logical_events: o.logical_events,
+                    events_per_sec: o.logical_events as f64 / (wall_ms / 1e3),
+                    digest: o.digest,
+                    windows: o.windows,
+                    ineligible_reason: o.ineligible.map(str::to_string),
+                    oversubscribed,
+                });
+                continue;
+            }
             let (wall_ms, o) = measure(quick, || run_ring(threads, batch, seed, ring_laps));
             rows.push(Row {
                 scenario: "ring_1mib".into(),

@@ -12,13 +12,17 @@
 //!   switching scheme instead of static division's collapse.
 //! * `policy_sweep_loss` — the same cell at 2 jobs under injected wire
 //!   loss, stock and with the go-back-N reliability layer.
+//! * `policy_sweep_serving` — the serving-cluster view: the same four
+//!   policies under an open-loop Poisson job stream near the capacity
+//!   knee (gang scheduling, registry `p2p` jobs), reporting the e2e tail,
+//!   SLO attainment, and admission-queue depth per policy.
 //!
 //! ```text
 //! cargo run --release -p bench-harness --bin policy_sweep [--full] [--csv DIR]
 //! ```
 
 use bench_harness::{par_sweep, HarnessOpts};
-use cluster::measure::{Measurement, MultiJobCell};
+use cluster::measure::{Measurement, MultiJobCell, SchedulingMode};
 use fastmsg::division::BufferPolicy;
 use sim_core::report::{Cell, Table};
 use sim_core::time::Cycles;
@@ -106,6 +110,54 @@ fn main() {
         ]);
     }
     opts.emit("policy_sweep_loss", &loss_t);
+
+    // Serving section: open-loop job stream near the knee, per policy.
+    let serve_horizon = if opts.full {
+        Cycles::from_secs(4)
+    } else {
+        Cycles::from_secs(2)
+    };
+    let serve_results = par_sweep(POLICIES.to_vec(), |&(policy, _)| {
+        Measurement::serve(8, 2, SchedulingMode::Gang)
+            .arrival_rate(10.0)
+            .horizon(serve_horizon)
+            .size_range(200, 800)
+            .slo(Cycles::from_secs(1))
+            .buffer_policy(policy)
+            .seed(opts.seed)
+            .batch(opts.batch)
+            .threads(opts.threads)
+            .run()
+    });
+    let mut serve_t = Table::new(
+        "Policy sweep — open-loop serving near the knee (10 jobs/s, registry p2p)",
+        &[
+            "policy",
+            "admitted",
+            "completed",
+            "drained",
+            "wait_p99_ms",
+            "e2e_p99_ms",
+            "slo_pct",
+            "qdepth_mean",
+            "qdepth_max",
+        ],
+    );
+    let ms = |cycles: u64| cycles as f64 / Cycles::from_ms(1).raw() as f64;
+    for ((_, name), c) in POLICIES.iter().zip(&serve_results) {
+        serve_t.row(vec![
+            (*name).into(),
+            c.admitted.into(),
+            c.completed.into(),
+            u64::from(c.drained).into(),
+            Cell::Float(ms(c.wait_p99), 3),
+            Cell::Float(ms(c.e2e_p99), 3),
+            Cell::Float(c.slo_attainment * 100.0, 2),
+            Cell::Float(c.queue_depth_mean, 2),
+            Cell::Float(c.queue_depth_max, 1),
+        ]);
+    }
+    opts.emit("policy_sweep_serving", &serve_t);
 
     println!(
         "Shape: static division pays its n² credit collapse as jobs grow;\n\

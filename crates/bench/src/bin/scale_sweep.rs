@@ -38,7 +38,6 @@ use fastmsg::division::{BufferPolicy, CreditRounding};
 use hostsim::costs::HostCosts;
 use sim_core::report::{Cell, Table};
 use sim_core::time::{Cycles, SimTime};
-use workloads::p2p::P2pBandwidth;
 
 /// The scalability-figure x-axis.
 const SCALE_NODES: [usize; 5] = [16, 64, 256, 1024, 4096];
@@ -102,13 +101,15 @@ fn run_cell(
     cfg.batch = opts.batch;
     cfg.threads = opts.threads;
     let mut sim = Sim::new(cfg);
-    let bench = P2pBandwidth::with_count(msg_bytes, count);
+    // The registry's `p2p` entry pins the 64 KB message size this cell's
+    // bandwidth column assumes.
+    let bench = workloads::registry::build("p2p", 2, opts.seed, count).expect("registry has p2p");
     let mut jobs = Vec::new();
     for (a, b) in placements(nodes) {
         // Two jobs on the same pair: they must occupy both slots, so
         // every quantum performs a whole-machine gang switch.
-        jobs.push(sim.submit(&bench, Some(vec![a, b])).unwrap());
-        jobs.push(sim.submit(&bench, Some(vec![a, b])).unwrap());
+        jobs.push(sim.submit(&*bench, Some(vec![a, b])).unwrap());
+        jobs.push(sim.submit(&*bench, Some(vec![a, b])).unwrap());
     }
     let t0 = Instant::now();
     assert!(

@@ -94,6 +94,13 @@ pub struct ClusterConfig {
     /// the paper's FM; the counterfactual that survives `wire_loss_ppm`).
     /// Default-off keeps every golden digest and figure CSV bit-identical.
     pub reliability: RelConfig,
+    /// Eager slot reclaim (serving mode): when a job finishes and leaves
+    /// the *current* gang-matrix slot empty while another slot still has
+    /// jobs, the masterd orders the switch immediately instead of idling
+    /// out the rest of the quantum. Default-off — it changes rotation
+    /// timing, so every batch-figure golden keeps the paper's strict
+    /// quantum clock.
+    pub eager_reclaim: bool,
     /// RNG seed (daemon jitter etc.).
     pub seed: u64,
     /// Trace ring capacity; 0 disables tracing.
@@ -141,6 +148,7 @@ impl ClusterConfig {
             init_mode: InitMode::ParPar,
             copy_jitter_pct: 0.03,
             wire_loss_ppm: 0,
+            eager_reclaim: false,
             reliability: RelConfig::default(),
             seed: 0x9a1b_2c3d,
             trace_capacity: 0,

@@ -107,6 +107,13 @@ pub enum DaemonEvent {
         /// The tree message.
         msg: TreeMsg,
     },
+    /// A planned open-loop job arrival fired (serving mode only): the
+    /// world submits arrival `index` of its installed [`parpar::ArrivalPlan`]
+    /// through the jobrep.
+    JobArrival {
+        /// Index into the installed arrival plan.
+        index: usize,
+    },
 }
 
 /// Data-plane events: the LANai send/receive engines and the wire.
@@ -272,6 +279,7 @@ pub const KIND_NAMES: &[&str] = &[
     "switch_retry_check",
     "demand_rebalance",
     "ctrl_to_peer",
+    "job_arrival",
 ];
 
 impl Event {
@@ -296,6 +304,7 @@ impl Event {
             Event::Daemon(DaemonEvent::SwitchRetryCheck { .. }) => 15,
             Event::Fm(FmEvent::DemandRebalance { .. }) => 16,
             Event::Daemon(DaemonEvent::CtrlToPeer { .. }) => 17,
+            Event::Daemon(DaemonEvent::JobArrival { .. }) => 18,
         }
     }
 }

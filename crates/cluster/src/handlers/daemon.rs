@@ -26,6 +26,7 @@ impl DaemonHandler for World {
             DaemonEvent::NodedAct { node, cmd } => self.on_noded_act(now, node, cmd, bus),
             DaemonEvent::SwitchRetryCheck { epoch } => self.on_switch_retry_check(now, epoch, bus),
             DaemonEvent::CtrlToPeer { node, msg } => self.on_ctrl_to_peer(now, node, msg, bus),
+            DaemonEvent::JobArrival { index } => self.on_job_arrival(now, index, bus),
         }
     }
 
@@ -53,6 +54,18 @@ impl World {
     /// The masterd's quantum timer fired: rotate if there is anything to
     /// rotate to, and rearm the timer.
     fn on_quantum_expired(&mut self, now: SimTime, bus: &mut Bus) {
+        self.order_switch(now, bus);
+        if self.cfg.auto_rotate {
+            bus.emit(now + self.cfg.quantum, DaemonEvent::QuantumExpired);
+        }
+    }
+
+    /// Ask the masterd for a rotation order and, if it has one, fan the
+    /// SwitchSlot command out (arming the reliability watchdog). Shared by
+    /// the quantum timer and serving-mode eager reclaim; the masterd's own
+    /// guards (switch in flight, nothing to rotate to) make extra calls
+    /// no-ops.
+    fn order_switch(&mut self, now: SimTime, bus: &mut Bus) {
         if let Some(order) = self.master.quantum_expired() {
             self.trace.emit(now, Category::Gang, None, || {
                 format!(
@@ -78,9 +91,6 @@ impl World {
                     DaemonEvent::SwitchRetryCheck { epoch: order.epoch },
                 );
             }
-        }
-        if self.cfg.auto_rotate {
-            bus.emit(now + self.cfg.quantum, DaemonEvent::QuantumExpired);
         }
     }
 
@@ -377,20 +387,82 @@ impl World {
             .push((epoch, now.since(self.switch_ordered_at)));
     }
 
-    /// The masterd saw a job's last process exit: record it and admit
-    /// queued jobs into the freed matrix space.
+    /// The masterd saw a job's last process exit: record it (service and
+    /// end-to-end latency for jobrep-submitted jobs), admit queued jobs
+    /// into the freed matrix space, and — in serving mode with eager
+    /// reclaim — rotate away from a now-empty current slot instead of
+    /// idling out the quantum.
     fn complete_job(&mut self, now: SimTime, job: JobId, bus: &mut Bus) {
         self.stats.job_finished.insert(job, now);
+        if let Some(&t) = self.stats.job_dispatched.get(&job) {
+            self.stats.service_latency.record(now.since(t).raw());
+        }
+        if let Some(&t) = self.stats.job_submitted.get(&job) {
+            self.stats.e2e_latency.record(now.since(t).raw());
+        }
         self.trace
             .emit(now, Category::Gang, None, || format!("{job} finished"));
-        let admitted = self.jobrep.drain(&mut self.master);
-        for sub in admitted {
-            let programs = self
-                .queued_programs
-                .pop_front()
-                .expect("queued programs out of sync with jobrep");
-            self.dispatch_submission(now, sub, programs, bus);
+        let drained = self.jobrep.drain(&mut self.master);
+        for ticket in &drained.dropped {
+            self.queued_programs.remove(ticket);
         }
+        for (ticket, sub) in drained.admitted {
+            let queued = self
+                .queued_programs
+                .remove(&ticket)
+                .expect("queued programs out of sync with jobrep");
+            self.stats
+                .job_submitted
+                .insert(sub.job, queued.submitted_at);
+            self.stats.job_dispatched.insert(sub.job, now);
+            self.stats
+                .wait_latency
+                .record(now.since(queued.submitted_at).raw());
+            self.dispatch_submission(now, sub, queued.programs, bus);
+        }
+        self.stats
+            .queue_depth
+            .set(now, self.jobrep.waiting() as f64);
+        if self.cfg.eager_reclaim && self.cfg.gang_scheduling {
+            let cur = self.master.current_slot();
+            if !self.master.matrix().active_slots().contains(&cur) {
+                self.order_switch(now, bus);
+            }
+        }
+    }
+
+    /// A planned open-loop arrival fired: submit it through the jobrep
+    /// queue, recording its submit time (and zero wait if it was admitted
+    /// on the spot).
+    fn on_job_arrival(&mut self, now: SimTime, index: usize, bus: &mut Bus) {
+        let planned = self.arrivals[index]
+            .take()
+            .expect("JobArrival fired twice for the same index");
+        self.arrivals_pending -= 1;
+        match self.jobrep.submit(&mut self.master, planned.spec) {
+            Ok(parpar::jobrep::Admission::Admitted(sub)) => {
+                self.stats.job_submitted.insert(sub.job, now);
+                self.stats.job_dispatched.insert(sub.job, now);
+                self.stats.wait_latency.record(0);
+                self.dispatch_submission(now, sub, planned.programs, bus);
+            }
+            Ok(parpar::jobrep::Admission::Queued(ticket)) => {
+                self.queued_programs.insert(
+                    ticket,
+                    crate::world::QueuedSub {
+                        submitted_at: now,
+                        programs: planned.programs,
+                    },
+                );
+            }
+            Err(_) => {
+                // Counted as rejected in jobrep.stats; the open-loop source
+                // does not retry.
+            }
+        }
+        self.stats
+            .queue_depth
+            .set(now, self.jobrep.waiting() as f64);
     }
 
     /// The noded executes a command.

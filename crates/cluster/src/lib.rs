@@ -29,9 +29,12 @@ pub use glue::GlueFm;
 pub use handlers::{
     AppHandler, DaemonHandler, FmHandler, NicHandler, SlotView, SwitchHandler, WorldState,
 };
+pub use measure::{Measurement, SchedulingMode, ServeCell};
 pub use myrinet::topology::{FatTreeShape, LinkTier};
 pub use node::NodeSim;
+pub use parpar::arrivals::{ArrivalPlan, ArrivalSpec};
 pub use parpar::control::ControlPlane;
+pub use parpar::jobrep::JobRepStats;
 pub use procsim::{BlockReason, ProcPhase, ProcSim};
 pub use stats::{QueueSample, TierTraffic, WorldStats};
 pub use world::{Sim, World};

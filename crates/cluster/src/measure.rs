@@ -208,57 +208,6 @@ fn run_p2p_cell(cfg: ClusterConfig, msg_bytes: u64, count: u64) -> BandwidthCell
     }
 }
 
-/// [`Measurement::fig5`] with an explicit credit-rounding mode.
-pub fn fig5_cell_rounded(
-    contexts: usize,
-    msg_bytes: u64,
-    count: u64,
-    seed: u64,
-    rounding: fastmsg::division::CreditRounding,
-) -> BandwidthCell {
-    Measurement::fig5(contexts, msg_bytes, count)
-        .rounding(rounding)
-        .seed(seed)
-        .run()
-}
-
-/// [`Measurement::fig5`] with the NIC buffers scaled by `mem_scale`.
-pub fn fig5_cell_scaled(
-    contexts: usize,
-    msg_bytes: u64,
-    count: u64,
-    seed: u64,
-    mem_scale: f64,
-) -> BandwidthCell {
-    Measurement::fig5(contexts, msg_bytes, count)
-        .mem_scale(mem_scale)
-        .seed(seed)
-        .run()
-}
-
-/// Deprecated free-function form of [`Measurement::fig5`].
-#[deprecated(note = "use `Measurement::fig5(contexts, msg_bytes, count).seed(seed).run()`")]
-pub fn fig5_cell(contexts: usize, msg_bytes: u64, count: u64, seed: u64) -> BandwidthCell {
-    Measurement::fig5(contexts, msg_bytes, count)
-        .seed(seed)
-        .run()
-}
-
-/// Deprecated free-function form of [`Measurement::fig5`] + [`batch`](Measurement::batch).
-#[deprecated(note = "use `Measurement::fig5(..).batch(batch).seed(seed).run()`")]
-pub fn fig5_cell_batch(
-    contexts: usize,
-    msg_bytes: u64,
-    count: u64,
-    seed: u64,
-    batch: usize,
-) -> BandwidthCell {
-    Measurement::fig5(contexts, msg_bytes, count)
-        .seed(seed)
-        .batch(batch)
-        .run()
-}
-
 /// Result of a Fig. 6 cell: several identical jobs gang-scheduled over the
 /// same nodes.
 #[derive(Debug, Clone)]
@@ -335,36 +284,6 @@ impl Measurement<Fig6> {
         self.apply_common(&mut cfg);
         run_fig6_cell(cfg, jobs, msg_bytes, quantum, duration)
     }
-}
-
-/// Deprecated free-function form of [`Measurement::fig6`].
-#[deprecated(note = "use `Measurement::fig6(jobs, msg_bytes, quantum, duration).seed(seed).run()`")]
-pub fn fig6_cell(
-    jobs: usize,
-    msg_bytes: u64,
-    quantum: Cycles,
-    duration: Cycles,
-    seed: u64,
-) -> MultiJobCell {
-    Measurement::fig6(jobs, msg_bytes, quantum, duration)
-        .seed(seed)
-        .run()
-}
-
-/// Deprecated free-function form of [`Measurement::fig6`] + [`batch`](Measurement::batch).
-#[deprecated(note = "use `Measurement::fig6(..).batch(batch).seed(seed).run()`")]
-pub fn fig6_cell_batch(
-    jobs: usize,
-    msg_bytes: u64,
-    quantum: Cycles,
-    duration: Cycles,
-    seed: u64,
-    batch: usize,
-) -> MultiJobCell {
-    Measurement::fig6(jobs, msg_bytes, quantum, duration)
-        .seed(seed)
-        .batch(batch)
-        .run()
 }
 
 fn run_fig6_cell(
@@ -506,23 +425,6 @@ pub fn switch_overhead_run(
         .run()
 }
 
-/// Deprecated free-function form of [`Measurement::switch_overhead`] +
-/// [`batch`](Measurement::batch).
-#[deprecated(note = "use `Measurement::switch_overhead(..).batch(batch).seed(seed).run()`")]
-pub fn switch_overhead_run_batch(
-    nodes: usize,
-    copy: CopyStrategy,
-    strategy: SwitchStrategy,
-    switches: u64,
-    seed: u64,
-    batch: usize,
-) -> SwitchOverheadRun {
-    Measurement::switch_overhead(nodes, copy, strategy, switches)
-        .seed(seed)
-        .batch(batch)
-        .run()
-}
-
 fn run_switch_overhead(cfg: ClusterConfig, nodes: usize, switches: u64) -> SwitchOverheadRun {
     let mut sim = Sim::new(cfg);
     let all: Vec<usize> = (0..nodes).collect();
@@ -649,6 +551,236 @@ pub fn bsp_gang_vs_uncoordinated(
             seed,
             SchedulingMode::Uncoordinated,
         ),
+    }
+}
+
+/// Result of one serving-mode cell: an open-loop arrival stream offered to
+/// the cluster at a fixed rate, with request-latency percentiles (in
+/// cycles) from the run's streaming sketches.
+#[derive(Debug, Clone)]
+pub struct ServeCell {
+    /// Jobs the arrival stream submitted.
+    pub submitted: u64,
+    /// Jobs admitted into the gang matrix (immediately or after queueing).
+    pub admitted: u64,
+    /// Jobs rejected outright (would never fit).
+    pub rejected: u64,
+    /// Jobs that ran to completion inside the drain window.
+    pub completed: u64,
+    /// Submit → dispatch wait, p50/p99/p999 cycles.
+    pub wait_p50: u64,
+    /// Wait p99.
+    pub wait_p99: u64,
+    /// Wait p999.
+    pub wait_p999: u64,
+    /// Dispatch → finish service time, p50/p99/p999 cycles.
+    pub service_p50: u64,
+    /// Service p99.
+    pub service_p99: u64,
+    /// Service p999.
+    pub service_p999: u64,
+    /// Submit → finish end-to-end, p50/p99/p999 cycles.
+    pub e2e_p50: u64,
+    /// End-to-end p99.
+    pub e2e_p99: u64,
+    /// End-to-end p999.
+    pub e2e_p999: u64,
+    /// Fraction of completed jobs whose end-to-end latency met the SLO.
+    pub slo_attainment: f64,
+    /// Time-weighted mean jobrep queue depth.
+    pub queue_depth_mean: f64,
+    /// Peak jobrep queue depth.
+    pub queue_depth_max: f64,
+    /// Did the pipeline drain (every arrival admitted and finished) before
+    /// the drain window closed? `false` marks a saturated cell — offered
+    /// load past the knee.
+    pub drained: bool,
+    /// The run's logical fingerprint (the determinism contract: identical
+    /// across thread counts and batch settings).
+    pub fingerprint: u64,
+}
+
+/// Parameters of a serving-mode cell (see [`Measurement::serve`]).
+#[derive(Debug, Clone)]
+pub struct Serve {
+    nodes: usize,
+    slots: usize,
+    mode: SchedulingMode,
+    arrival_rate: f64,
+    trace: Option<Vec<parpar::arrivals::ArrivalSpec>>,
+    horizon: Cycles,
+    job_width: usize,
+    size_range: (u64, u64),
+    scenario: String,
+    slo: Cycles,
+    quantum: Cycles,
+    eager_reclaim: bool,
+    policy: BufferPolicy,
+}
+
+impl Measurement<Serve> {
+    /// Serving-cluster mode: a Poisson (or traced) open-loop job stream
+    /// offered to `nodes` nodes with a `slots`-deep gang matrix under the
+    /// given scheduling discipline, static buffer division by default (so
+    /// the three disciplines differ only in coordination). Reliability is
+    /// on by default — a serving cluster cannot assume a perfect SAN — and
+    /// can be switched off with [`reliability(false)`](Measurement::reliability).
+    ///
+    /// Defaults: 2 jobs/s Poisson arrivals for 10 simulated seconds of
+    /// 2-wide `p2p` jobs sized 20..=80 messages, a 100 ms quantum with
+    /// eager slot reclaim, and a 500 ms end-to-end SLO.
+    pub fn serve(nodes: usize, slots: usize, mode: SchedulingMode) -> Self {
+        assert!(nodes >= 2 && slots >= 1);
+        let mut m = Measurement::with_kind(Serve {
+            nodes,
+            slots,
+            mode,
+            arrival_rate: 2.0,
+            trace: None,
+            horizon: Cycles::from_secs(10),
+            job_width: 2,
+            size_range: (20, 80),
+            scenario: "p2p".to_string(),
+            slo: Cycles::from_ms(500),
+            quantum: Cycles::from_ms(100),
+            eager_reclaim: true,
+            policy: BufferPolicy::StaticDivision,
+        });
+        m.reliability = true;
+        m
+    }
+
+    /// Poisson offered load, jobs per simulated second (default 2.0).
+    pub fn arrival_rate(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0);
+        self.kind.arrival_rate = rate;
+        self
+    }
+
+    /// Replace the Poisson stream with an explicit arrival trace (offsets
+    /// relative to the run start; entries are stable-sorted by time).
+    pub fn trace(mut self, entries: Vec<parpar::arrivals::ArrivalSpec>) -> Self {
+        self.kind.trace = Some(entries);
+        self
+    }
+
+    /// End-to-end latency SLO used for the attainment fraction (default
+    /// 500 ms).
+    pub fn slo(mut self, slo: Cycles) -> Self {
+        self.kind.slo = slo;
+        self
+    }
+
+    /// Arrival horizon: the Poisson stream stops here (default 10 s). The
+    /// run itself gets five more horizons to drain the queue.
+    pub fn horizon(mut self, horizon: Cycles) -> Self {
+        assert!(horizon.raw() > 0);
+        self.kind.horizon = horizon;
+        self
+    }
+
+    /// Processes per arriving job (default 2).
+    pub fn job_width(mut self, width: usize) -> Self {
+        assert!(width >= 1);
+        self.kind.job_width = width;
+        self
+    }
+
+    /// Inclusive per-job size range the Poisson stream draws from, in the
+    /// scenario's natural unit (default 20..=80 messages).
+    pub fn size_range(mut self, lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi);
+        self.kind.size_range = (lo, hi);
+        self
+    }
+
+    /// Scenario name resolved through [`workloads::registry`] (default
+    /// `"p2p"`).
+    pub fn scenario(mut self, name: &str) -> Self {
+        assert!(
+            workloads::registry::build(name, 2, 0, 1).is_some(),
+            "unknown scenario {name:?} (known: {:?})",
+            workloads::registry::names()
+        );
+        self.kind.scenario = name.to_string();
+        self
+    }
+
+    /// Gang quantum (default 100 ms — serving wants fast rotation, not the
+    /// paper's 1 s batch quantum).
+    pub fn quantum(mut self, quantum: Cycles) -> Self {
+        self.kind.quantum = quantum;
+        self
+    }
+
+    /// Eager slot reclaim on job finish (default on; gang mode only).
+    pub fn eager_reclaim(mut self, on: bool) -> Self {
+        self.kind.eager_reclaim = on;
+        self
+    }
+
+    /// NIC buffer policy (default static division, the paper's serving
+    /// baseline). Uncoordinated mode requires static division or demand —
+    /// the always-resident policies presume coordinated switching.
+    pub fn buffer_policy(mut self, policy: BufferPolicy) -> Self {
+        self.kind.policy = policy;
+        self
+    }
+
+    /// Build the cluster, play the arrival stream, drain, and report.
+    pub fn run(self) -> ServeCell {
+        use parpar::arrivals::ArrivalPlan;
+        let k = self.kind.clone();
+        let mut cfg = ClusterConfig::parpar(k.nodes, k.slots, k.policy);
+        cfg.gang_scheduling = k.mode == SchedulingMode::Gang;
+        cfg.dynamic_coscheduling = k.mode == SchedulingMode::DynamicCosched;
+        cfg.quantum = k.quantum;
+        cfg.eager_reclaim = k.eager_reclaim && cfg.gang_scheduling;
+        self.apply_common(&mut cfg);
+        let seed = self.seed;
+        let mut sim = Sim::new(cfg);
+        let plan = match k.trace {
+            Some(entries) => ArrivalPlan::trace(entries),
+            None => ArrivalPlan::poisson(
+                seed,
+                k.arrival_rate,
+                k.horizon,
+                k.job_width,
+                k.size_range.0,
+                k.size_range.1,
+            ),
+        };
+        let scenario = k.scenario;
+        sim.install_arrivals(&plan, |i, spec| {
+            let job_seed = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            workloads::registry::build(&scenario, spec.nprocs, job_seed, spec.size)
+                .expect("scenario validated at construction")
+        });
+        let drain_until = SimTime::ZERO + Cycles(k.horizon.raw().saturating_mul(6));
+        let drained = sim.run_until_quiescent(drain_until);
+        let fingerprint = sim.logical_fingerprint();
+        let w = sim.world();
+        let s = &w.stats;
+        ServeCell {
+            submitted: w.jobrep.stats.submitted,
+            admitted: w.jobrep.stats.admitted,
+            rejected: w.jobrep.stats.rejected,
+            completed: s.e2e_latency.count(),
+            wait_p50: s.wait_latency.quantile_ppk(500),
+            wait_p99: s.wait_latency.quantile_ppk(990),
+            wait_p999: s.wait_latency.quantile_ppk(999),
+            service_p50: s.service_latency.quantile_ppk(500),
+            service_p99: s.service_latency.quantile_ppk(990),
+            service_p999: s.service_latency.quantile_ppk(999),
+            e2e_p50: s.e2e_latency.quantile_ppk(500),
+            e2e_p99: s.e2e_latency.quantile_ppk(990),
+            e2e_p999: s.e2e_latency.quantile_ppk(999),
+            slo_attainment: s.e2e_latency.fraction_le(k.slo.raw()),
+            queue_depth_mean: s.queue_depth.mean(),
+            queue_depth_max: s.queue_depth.max(),
+            drained,
+            fingerprint,
+        }
     }
 }
 

@@ -368,15 +368,18 @@ impl Sim {
 
     /// The windowed counterpart of [`sim_core::engine::Engine::run_until`]
     /// (`until_jobs_done = false`) and `run_until_pred` over
-    /// [`World::all_jobs_finished`] (`true`). Outcomes, clock movement, and
+    /// [`World::quiescent`] (`true`). Outcomes, clock movement, and
     /// every observable of the world match the sequential calls exactly.
+    /// (Quiescence degenerates to all-jobs-finished outside serving mode,
+    /// and a pending arrival keeps the run alive even while the matrix is
+    /// momentarily empty.)
     pub(crate) fn run_windowed(&mut self, horizon: SimTime, until_jobs_done: bool) -> RunOutcome {
         if self.par.is_none() {
             self.par = Some(ParDriver::new(self.engine.model.cfg.threads));
         }
         let start_events = self.engine.events_processed();
         loop {
-            if until_jobs_done && self.engine.model.all_jobs_finished() {
+            if until_jobs_done && self.engine.model.quiescent() {
                 return RunOutcome::Horizon;
             }
             let Some((t_head, _)) = self.engine.drive(|_, s| s.peek_key()) else {

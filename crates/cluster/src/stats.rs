@@ -3,7 +3,7 @@
 use gang_comm::overhead::OverheadLedger;
 use gang_comm::sequencer::StageBreakdown;
 use parpar::job::JobId;
-use sim_core::stats::BandwidthMeter;
+use sim_core::stats::{BandwidthMeter, LatencySketch, TimeWeighted};
 use sim_core::time::{Cycles, SimTime};
 
 /// A per-job stat column backed by a flat `Vec` indexed by `JobId`.
@@ -216,6 +216,21 @@ pub struct WorldStats {
     pub job_first_send: PerJob<SimTime>,
     /// When each job fully finished.
     pub job_finished: PerJob<SimTime>,
+    /// When each job was submitted to the jobrep (serving mode and
+    /// [`crate::Sim::submit_queued`] only — direct `submit` bypasses the
+    /// admission queue and records nothing here).
+    pub job_submitted: PerJob<SimTime>,
+    /// When each jobrep-submitted job was admitted into the gang matrix
+    /// and dispatched.
+    pub job_dispatched: PerJob<SimTime>,
+    /// Request-latency sketch: submit → dispatch wait, cycles.
+    pub wait_latency: LatencySketch,
+    /// Request-latency sketch: dispatch → finish service time, cycles.
+    pub service_latency: LatencySketch,
+    /// Request-latency sketch: submit → finish end-to-end, cycles.
+    pub e2e_latency: LatencySketch,
+    /// Jobrep admission-queue depth over time (jobs waiting for space).
+    pub queue_depth: TimeWeighted,
     /// Data packets dropped (possible only under ShareDiscard).
     pub drops: u64,
     /// Packets lost to injected wire faults.

@@ -1,14 +1,15 @@
 //! The simulated cluster: all state plus the top-level event dispatcher.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 use fastmsg::packet::PACKET_BYTES;
 use lanai::nic::Nic;
 use myrinet::network::Network;
 use myrinet::topology::{LinkTier, Topology};
+use parpar::arrivals::{ArrivalPlan, ArrivalSpec};
 use parpar::control::{ControlNet, ControlPlane};
 use parpar::job::{JobId, JobSpec};
-use parpar::jobrep::JobRep;
+use parpar::jobrep::{Admission, JobRep};
 use parpar::masterd::{Masterd, Submitted};
 use parpar::matrix::PlaceError;
 use parpar::tree::{job_expectations, ControlTree, TreeAgg};
@@ -26,6 +27,21 @@ use crate::handlers::{
 };
 use crate::node::NodeSim;
 use crate::stats::WorldStats;
+
+/// A submission waiting in the jobrep queue: when it was submitted (for
+/// the wait-latency sketch) and the programs to dispatch on admission,
+/// keyed by the jobrep ticket.
+pub(crate) struct QueuedSub {
+    pub(crate) submitted_at: SimTime,
+    pub(crate) programs: Vec<Box<dyn Program>>,
+}
+
+/// One not-yet-fired entry of the installed arrival plan: the spec to
+/// submit and the programs already built from the scenario factory.
+pub(crate) struct PlannedArrival {
+    pub(crate) spec: JobSpec,
+    pub(crate) programs: Vec<Box<dyn Program>>,
+}
 
 /// The full simulated ParPar system.
 pub struct World {
@@ -49,9 +65,14 @@ pub struct World {
     pub jobrep: JobRep,
     /// Programs awaiting their LoadJob, keyed by (job, rank).
     pub(crate) pending_programs: BTreeMap<(JobId, usize), Box<dyn Program>>,
-    /// Programs of queued (not yet admitted) submissions, FIFO-aligned
-    /// with the jobrep queue.
-    pub(crate) queued_programs: VecDeque<Vec<Box<dyn Program>>>,
+    /// Programs (and submit timestamps) of queued — not yet admitted —
+    /// submissions, keyed by jobrep ticket.
+    pub(crate) queued_programs: BTreeMap<u64, QueuedSub>,
+    /// The installed open-loop arrival plan (serving mode); each entry is
+    /// taken when its `JobArrival` event fires.
+    pub(crate) arrivals: Vec<Option<PlannedArrival>>,
+    /// Arrival-plan entries that have not fired yet.
+    pub(crate) arrivals_pending: usize,
     /// Combining-tree shape (`ControlPlane::Tree` only).
     pub(crate) tree: Option<ControlTree>,
     /// Per-node combining-tree aggregation state; empty unless `tree` is
@@ -123,7 +144,9 @@ impl World {
             stats: WorldStats::default(),
             jobrep: JobRep::new(),
             pending_programs: BTreeMap::new(),
-            queued_programs: VecDeque::new(),
+            queued_programs: BTreeMap::new(),
+            arrivals: Vec::new(),
+            arrivals_pending: 0,
             tree,
             tree_agg,
             switch_ordered_at: SimTime::ZERO,
@@ -209,7 +232,9 @@ impl World {
             stats: WorldStats::default(),
             jobrep: JobRep::new(),
             pending_programs: BTreeMap::new(),
-            queued_programs: VecDeque::new(),
+            queued_programs: BTreeMap::new(),
+            arrivals: Vec::new(),
+            arrivals_pending: 0,
             // Shards never touch the control plane (the poisoned ControlNet
             // proves it), so the tree aggregation state stays with the real
             // world.
@@ -242,6 +267,14 @@ impl World {
     /// every event.
     pub fn all_jobs_finished(&self) -> bool {
         self.master.all_jobs_finished()
+    }
+
+    /// Is the serving pipeline fully drained? True only when every
+    /// admitted job finished, no submission waits in the jobrep queue, and
+    /// no planned arrival is still due. For batch runs (no arrival plan,
+    /// nothing queued) this degenerates to [`World::all_jobs_finished`].
+    pub fn quiescent(&self) -> bool {
+        self.master.all_jobs_finished() && self.jobrep.waiting() == 0 && self.arrivals_pending == 0
     }
 }
 
@@ -488,6 +521,21 @@ impl Sim {
         fold(w.stats.retransmits);
         fold(w.stats.drops);
         fold(w.stats.wire_losses);
+        // Serving-mode observables fold only when the run recorded request
+        // latencies, so every batch-mode golden stays bit-identical.
+        if w.stats.wait_latency.count() > 0 || w.stats.e2e_latency.count() > 0 {
+            for (j, t) in w.stats.job_submitted.iter() {
+                fold(j.0 as u64);
+                fold(t.raw());
+            }
+            for (j, t) in w.stats.job_dispatched.iter() {
+                fold(j.0 as u64);
+                fold(t.raw());
+            }
+            w.stats.wait_latency.fold_into(&mut fold);
+            w.stats.service_latency.fold_into(&mut fold);
+            w.stats.e2e_latency.fold_into(&mut fold);
+        }
         h
     }
 
@@ -539,16 +587,69 @@ impl Sim {
             .collect();
         self.engine
             .drive(|w, sched| match w.jobrep.submit(&mut w.master, spec)? {
-                Some(sub) => {
+                Admission::Admitted(sub) => {
                     let job = sub.job;
+                    w.stats.job_submitted.insert(job, now);
+                    w.stats.job_dispatched.insert(job, now);
+                    w.stats.wait_latency.record(0);
                     w.dispatch_submission(now, sub, programs, &mut Bus::new(sched));
                     Ok(Some(job))
                 }
-                None => {
-                    w.queued_programs.push_back(programs);
+                Admission::Queued(ticket) => {
+                    w.queued_programs.insert(
+                        ticket,
+                        QueuedSub {
+                            submitted_at: now,
+                            programs,
+                        },
+                    );
+                    w.stats.queue_depth.set(now, w.jobrep.waiting() as f64);
                     Ok(None)
                 }
             })
+    }
+
+    /// Install an open-loop arrival plan (serving mode): every entry gets
+    /// its workload built now via `make(index, spec)` and a
+    /// [`DaemonEvent::JobArrival`] event scheduled at `now + spec.at`; when
+    /// each fires, the world submits the job through the jobrep queue and
+    /// records its submit→dispatch→finish latencies. Call before running;
+    /// [`Sim::run_until_quiescent`] waits for the whole plan to drain.
+    pub fn install_arrivals<F>(&mut self, plan: &ArrivalPlan, mut make: F)
+    where
+        F: FnMut(usize, &ArrivalSpec) -> Box<dyn Workload>,
+    {
+        let now = self.engine.now();
+        let base = self.engine.model.arrivals.len();
+        for (i, spec) in plan.jobs().iter().enumerate() {
+            let workload = make(i, spec);
+            let programs: Vec<Box<dyn Program>> = (0..workload.nprocs())
+                .map(|r| workload.program(r))
+                .collect();
+            let job_spec =
+                JobSpec::sized(workload.name(), workload.nprocs()).with_priority(spec.priority);
+            self.engine.model.arrivals.push(Some(PlannedArrival {
+                spec: job_spec,
+                programs,
+            }));
+            self.engine.model.arrivals_pending += 1;
+            self.engine.schedule_at(
+                now + spec.at,
+                DaemonEvent::JobArrival { index: base + i }.into(),
+            );
+        }
+    }
+
+    /// Run until the serving pipeline drains — every arrival fired, every
+    /// queued submission was admitted, every job finished — or `horizon`.
+    /// Returns `true` if the world went quiescent.
+    pub fn run_until_quiescent(&mut self, horizon: SimTime) -> bool {
+        if self.windows_enabled() {
+            self.run_windowed(horizon, true);
+        } else {
+            self.engine.run_until_pred(horizon, |w| w.quiescent());
+        }
+        self.engine.model.quiescent()
     }
 
     /// Run until `horizon`. With `cfg.threads > 1` on an eligible
@@ -563,13 +664,15 @@ impl Sim {
     }
 
     /// Run until every submitted job finished, or `horizon`.
-    /// Returns `true` if all jobs finished.
+    /// Returns `true` if all jobs finished. (The stop predicate is
+    /// [`World::quiescent`], so queued submissions and planned arrivals
+    /// keep the run alive; outside serving mode it is exactly
+    /// all-jobs-finished.)
     pub fn run_until_jobs_done(&mut self, horizon: SimTime) -> bool {
         if self.windows_enabled() {
             self.run_windowed(horizon, true);
         } else {
-            self.engine
-                .run_until_pred(horizon, |w| w.all_jobs_finished());
+            self.engine.run_until_pred(horizon, |w| w.quiescent());
         }
         self.engine.model.all_jobs_finished()
     }

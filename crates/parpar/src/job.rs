@@ -24,6 +24,10 @@ pub struct JobSpec {
     /// choose (used to force several jobs onto the same node pair, as the
     /// paper's Fig. 6 measurement does).
     pub pinned_nodes: Option<Vec<usize>>,
+    /// Admission priority class: the jobrep serves higher classes first
+    /// and keeps FIFO order within a class. All paper workloads use the
+    /// default class 0.
+    pub priority: u8,
 }
 
 impl JobSpec {
@@ -33,6 +37,7 @@ impl JobSpec {
             name: name.to_string(),
             nprocs,
             pinned_nodes: None,
+            priority: 0,
         }
     }
 
@@ -42,7 +47,14 @@ impl JobSpec {
             name: name.to_string(),
             nprocs: nodes.len(),
             pinned_nodes: Some(nodes),
+            priority: 0,
         }
+    }
+
+    /// Same spec in a different admission class.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
     }
 }
 
@@ -69,6 +81,8 @@ mod tests {
         let b = JobSpec::pinned("bw2", vec![0, 1]);
         assert_eq!(b.nprocs, 2);
         assert_eq!(b.pinned_nodes, Some(vec![0, 1]));
+        assert_eq!(b.priority, 0);
+        assert_eq!(a.with_priority(3).priority, 3);
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! the application with the masterd."
 //!
 //! This module provides the negotiation queue: submissions that do not fit
-//! the gang matrix wait in FIFO order and are admitted as earlier jobs
-//! finish and free their slots.
+//! the gang matrix wait per priority class — higher classes are served
+//! first, FIFO within a class — and are admitted as earlier jobs finish
+//! and free their slots. Every queued submission gets a monotonically
+//! increasing *ticket* so the caller can associate side state (programs,
+//! submit timestamps) without depending on queue positions.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::job::JobSpec;
 use crate::masterd::{Masterd, Submitted};
@@ -24,10 +27,32 @@ pub struct JobRepStats {
     pub rejected: u64,
 }
 
-/// The jobrep's FIFO negotiation queue.
+/// Outcome of a successful [`JobRep::submit`].
+#[derive(Debug, Clone)]
+pub enum Admission {
+    /// The matrix had room: the job is placed now.
+    Admitted(Submitted),
+    /// No room (or an equal/higher-class job is already waiting): the job
+    /// holds this ticket in its class queue.
+    Queued(u64),
+}
+
+/// What a [`JobRep::drain`] pass did.
+#[derive(Debug, Clone, Default)]
+pub struct Drained {
+    /// Admissions made, in admission order.
+    pub admitted: Vec<(u64, Submitted)>,
+    /// Tickets of queued heads that turned out to be invalid and were
+    /// dropped (counted as rejected).
+    pub dropped: Vec<u64>,
+}
+
+/// The jobrep's priority-class negotiation queue.
 #[derive(Debug, Clone, Default)]
 pub struct JobRep {
-    waiting: VecDeque<JobSpec>,
+    /// Waiting submissions per class; iterated highest class first.
+    classes: BTreeMap<u8, VecDeque<(u64, JobSpec)>>,
+    next_ticket: u64,
     /// Counters.
     pub stats: JobRepStats,
 }
@@ -38,37 +63,47 @@ impl JobRep {
         Self::default()
     }
 
-    /// Jobs waiting for space.
+    /// Jobs waiting for space, across all classes.
     pub fn waiting(&self) -> usize {
-        self.waiting.len()
+        self.classes.values().map(VecDeque::len).sum()
     }
 
-    /// Submit a job: admitted immediately if the matrix has room, queued
-    /// otherwise. Returns `Ok(Some(..))` on immediate admission,
-    /// `Ok(None)` if queued, `Err` if the job can never fit.
-    pub fn submit(
-        &mut self,
-        master: &mut Masterd,
-        spec: JobSpec,
-    ) -> Result<Option<Submitted>, PlaceError> {
+    /// True if some waiter has class `>= priority` (and would therefore
+    /// be served before a new submission of that class).
+    fn blocked_by_waiter(&self, priority: u8) -> bool {
+        self.classes.range(priority..).any(|(_, q)| !q.is_empty())
+    }
+
+    fn enqueue(&mut self, spec: JobSpec) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.classes
+            .entry(spec.priority)
+            .or_default()
+            .push_back((ticket, spec));
+        ticket
+    }
+
+    /// Submit a job: admitted immediately if the matrix has room and no
+    /// equal-or-higher-class job is waiting, queued otherwise. `Err` if
+    /// the job can never fit.
+    pub fn submit(&mut self, master: &mut Masterd, spec: JobSpec) -> Result<Admission, PlaceError> {
         self.stats.submitted += 1;
         if spec.nprocs == 0 || spec.nprocs > master.matrix().nodes() {
             self.stats.rejected += 1;
             return Err(PlaceError::TooLarge);
         }
-        // FIFO fairness: if others are already waiting, go behind them.
-        if !self.waiting.is_empty() {
-            self.waiting.push_back(spec);
-            return Ok(None);
+        // Fairness: earlier waiters of my class or above go first.
+        if self.blocked_by_waiter(spec.priority) {
+            return Ok(Admission::Queued(self.enqueue(spec)));
         }
         match master.submit(spec.clone()) {
             Ok(sub) => {
                 self.stats.admitted += 1;
-                Ok(Some(sub))
+                Ok(Admission::Admitted(sub))
             }
             Err(PlaceError::NoSlot) | Err(PlaceError::PinnedBusy) => {
-                self.waiting.push_back(spec);
-                Ok(None)
+                Ok(Admission::Queued(self.enqueue(spec)))
             }
             Err(e) => {
                 self.stats.rejected += 1;
@@ -78,23 +113,36 @@ impl JobRep {
     }
 
     /// Try to admit queued jobs (call when a job finishes and frees
-    /// matrix space). Admits the FIFO head repeatedly until it no longer
-    /// fits; returns the admissions made.
-    pub fn drain(&mut self, master: &mut Masterd) -> Vec<Submitted> {
-        let mut out = Vec::new();
-        while let Some(spec) = self.waiting.front() {
-            match master.submit(spec.clone()) {
-                Ok(sub) => {
-                    self.waiting.pop_front();
-                    self.stats.admitted += 1;
-                    out.push(sub);
+    /// matrix space). Serves classes highest first, FIFO within a class,
+    /// admitting the head repeatedly until it no longer fits; a head that
+    /// does not fit stops the pass (no backfill from lower classes —
+    /// strict priority, no starvation of wide jobs by narrow ones).
+    pub fn drain(&mut self, master: &mut Masterd) -> Drained {
+        let mut out = Drained::default();
+        'pass: while let Some((&class, _)) = self.classes.iter().rev().find(|(_, q)| !q.is_empty())
+        {
+            let queue = self.classes.get_mut(&class).expect("class exists");
+            while let Some((ticket, spec)) = queue.front() {
+                let (ticket, spec) = (*ticket, spec.clone());
+                match master.submit(spec) {
+                    Ok(sub) => {
+                        queue.pop_front();
+                        self.stats.admitted += 1;
+                        out.admitted.push((ticket, sub));
+                    }
+                    Err(PlaceError::NoSlot) | Err(PlaceError::PinnedBusy) => break 'pass,
+                    Err(_) => {
+                        // Head became invalid (e.g. duplicate): drop it.
+                        queue.pop_front();
+                        self.stats.rejected += 1;
+                        out.dropped.push(ticket);
+                    }
                 }
-                Err(PlaceError::NoSlot) | Err(PlaceError::PinnedBusy) => break,
-                Err(_) => {
-                    // Head became invalid (e.g. duplicate): drop it.
-                    self.waiting.pop_front();
-                    self.stats.rejected += 1;
-                }
+            }
+            if self.classes.get(&class).is_none_or(VecDeque::is_empty) {
+                self.classes.remove(&class);
+            } else {
+                break;
             }
         }
         out
@@ -106,12 +154,31 @@ mod tests {
     use super::*;
     use crate::job::JobId;
 
+    fn finish(m: &mut Masterd, sub: &Submitted) {
+        for &n in &sub.placement.nodes.clone() {
+            m.on_job_finished(sub.job, n);
+        }
+    }
+
+    fn admitted(a: Result<Admission, PlaceError>) -> Submitted {
+        match a.unwrap() {
+            Admission::Admitted(sub) => sub,
+            Admission::Queued(t) => panic!("queued (ticket {t}), expected admission"),
+        }
+    }
+
+    fn queued(a: Result<Admission, PlaceError>) -> u64 {
+        match a.unwrap() {
+            Admission::Queued(t) => t,
+            Admission::Admitted(sub) => panic!("admitted {:?}, expected queued", sub.job),
+        }
+    }
+
     #[test]
     fn immediate_admission_when_space() {
         let mut m = Masterd::new(4, 1);
         let mut jr = JobRep::new();
-        let sub = jr.submit(&mut m, JobSpec::sized("a", 4)).unwrap();
-        assert!(sub.is_some());
+        admitted(jr.submit(&mut m, JobSpec::sized("a", 4)));
         assert_eq!(jr.waiting(), 0);
         assert_eq!(jr.stats.admitted, 1);
     }
@@ -120,17 +187,17 @@ mod tests {
     fn queueing_when_matrix_full_then_admission_on_finish() {
         let mut m = Masterd::new(2, 1);
         let mut jr = JobRep::new();
-        let first = jr.submit(&mut m, JobSpec::sized("a", 2)).unwrap().unwrap();
+        let first = admitted(jr.submit(&mut m, JobSpec::sized("a", 2)));
         // Matrix full: second waits.
-        assert!(jr.submit(&mut m, JobSpec::sized("b", 2)).unwrap().is_none());
+        let t = queued(jr.submit(&mut m, JobSpec::sized("b", 2)));
         assert_eq!(jr.waiting(), 1);
-        assert!(jr.drain(&mut m).is_empty());
+        assert!(jr.drain(&mut m).admitted.is_empty());
         // First job finishes → space frees → b admitted.
-        m.on_job_finished(first.job, first.placement.nodes[0]);
-        m.on_job_finished(first.job, first.placement.nodes[1]);
-        let admitted = jr.drain(&mut m);
-        assert_eq!(admitted.len(), 1);
-        assert_eq!(admitted[0].job, JobId(2));
+        finish(&mut m, &first);
+        let d = jr.drain(&mut m);
+        assert_eq!(d.admitted.len(), 1);
+        assert_eq!(d.admitted[0].0, t);
+        assert_eq!(d.admitted[0].1.job, JobId(2));
         assert_eq!(jr.waiting(), 0);
     }
 
@@ -138,19 +205,18 @@ mod tests {
     fn fifo_order_is_preserved() {
         let mut m = Masterd::new(2, 1);
         let mut jr = JobRep::new();
-        let a = jr.submit(&mut m, JobSpec::sized("a", 2)).unwrap().unwrap();
-        jr.submit(&mut m, JobSpec::sized("b", 2)).unwrap();
+        let a = admitted(jr.submit(&mut m, JobSpec::sized("a", 2)));
+        queued(jr.submit(&mut m, JobSpec::sized("b", 2)));
         // c submits while b waits: it must queue behind b even though it
         // also wouldn't fit.
-        jr.submit(&mut m, JobSpec::sized("c", 1)).unwrap();
+        queued(jr.submit(&mut m, JobSpec::sized("c", 1)));
         assert_eq!(jr.waiting(), 2);
-        m.on_job_finished(a.job, a.placement.nodes[0]);
-        m.on_job_finished(a.job, a.placement.nodes[1]);
-        let admitted = jr.drain(&mut m);
+        finish(&mut m, &a);
+        let d = jr.drain(&mut m);
         // Both fit now (b takes the slot's two nodes? no: 2-node matrix,
         // 1 slot — b takes both nodes, c must wait again).
-        assert_eq!(admitted.len(), 1);
-        assert_eq!(admitted[0].placement.nodes.len(), 2);
+        assert_eq!(d.admitted.len(), 1);
+        assert_eq!(d.admitted[0].1.placement.nodes.len(), 2);
         assert_eq!(jr.waiting(), 1);
     }
 
@@ -162,5 +228,40 @@ mod tests {
         assert!(matches!(res, Err(PlaceError::TooLarge)));
         assert_eq!(jr.waiting(), 0);
         assert_eq!(jr.stats.rejected, 1);
+    }
+
+    #[test]
+    fn higher_class_served_first_fifo_within_class() {
+        let mut m = Masterd::new(2, 1);
+        let mut jr = JobRep::new();
+        let a = admitted(jr.submit(&mut m, JobSpec::sized("a", 2)));
+        let lo1 = queued(jr.submit(&mut m, JobSpec::sized("lo1", 2)));
+        let hi1 = queued(jr.submit(&mut m, JobSpec::sized("hi1", 2).with_priority(2)));
+        let hi2 = queued(jr.submit(&mut m, JobSpec::sized("hi2", 2).with_priority(2)));
+        let lo2 = queued(jr.submit(&mut m, JobSpec::sized("lo2", 2)));
+        let mut order = Vec::new();
+        let mut running = a;
+        while jr.waiting() > 0 {
+            finish(&mut m, &running);
+            let d = jr.drain(&mut m);
+            assert_eq!(d.admitted.len(), 1, "one 2-wide job fits at a time");
+            order.push(d.admitted[0].0);
+            running = d.admitted[0].1.clone();
+        }
+        assert_eq!(order, vec![hi1, hi2, lo1, lo2]);
+    }
+
+    #[test]
+    fn high_priority_submit_bypasses_lower_class_waiters() {
+        let mut m = Masterd::new(4, 1);
+        let mut jr = JobRep::new();
+        // Fill 2 of 4 nodes; a 4-wide job queues; 2 nodes stay free.
+        admitted(jr.submit(&mut m, JobSpec::sized("a", 2)));
+        queued(jr.submit(&mut m, JobSpec::sized("wide", 4)));
+        // A same-class 2-wide job must wait behind the wide one...
+        queued(jr.submit(&mut m, JobSpec::sized("b", 2)));
+        // ...but a higher-class job may take the free nodes now.
+        admitted(jr.submit(&mut m, JobSpec::sized("urgent", 2).with_priority(1)));
+        assert_eq!(jr.waiting(), 2);
     }
 }

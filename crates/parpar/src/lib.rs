@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod control;
 pub mod job;
 pub mod jobrep;
@@ -19,9 +20,10 @@ pub mod noded;
 pub mod protocol;
 pub mod tree;
 
+pub use arrivals::{ArrivalPlan, ArrivalSpec};
 pub use control::{ControlNet, ControlPlane};
 pub use job::{JobId, JobSpec, JobState};
-pub use jobrep::{JobRep, JobRepStats};
+pub use jobrep::{Admission, Drained, JobRep, JobRepStats};
 pub use masterd::{Masterd, Submitted, SwitchOrder};
 pub use matrix::{GangMatrix, PlaceError, Placement};
 pub use noded::Noded;

@@ -15,6 +15,7 @@ pub mod p2p;
 pub mod pairs;
 pub mod pingpong;
 pub mod program;
+pub mod registry;
 pub mod ring;
 
 pub use alltoall::AllToAll;
